@@ -1,0 +1,62 @@
+// Command jppchar dumps the raw per-benchmark characterization data
+// behind the paper's Table 1: execution-time decomposition, miss mix,
+// miss parallelism and working-set footprint, for every scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		size  = flag.String("size", "full", "test|small|full")
+		bench = flag.String("bench", "", "restrict to a comma-separated benchmark list")
+	)
+	flag.Parse()
+
+	var sz repro.Size
+	switch *size {
+	case "test":
+		sz = repro.SizeTest
+	case "small":
+		sz = repro.SizeSmall
+	case "full":
+		sz = repro.SizeFull
+	default:
+		fmt.Fprintf(os.Stderr, "jppchar: unknown size %q\n", *size)
+		os.Exit(1)
+	}
+
+	names := []string{}
+	for _, b := range repro.Benchmarks() {
+		names = append(names, b.Name)
+	}
+	if *bench != "" {
+		names = strings.Split(*bench, ",")
+	}
+
+	fmt.Printf("%-10s %-5s %9s %9s %7s %8s %8s %9s %8s\n",
+		"bench", "schm", "cycles", "insts", "IPC", "L1Dmiss", "L2miss", "B/inst", "footKB")
+	for _, name := range names {
+		for _, scheme := range core.Schemes() {
+			res, err := repro.Simulate(repro.Config{
+				Bench: name, Scheme: scheme, Size: sz,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jppchar:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %-5v %9d %9d %7.3f %8d %8d %9.2f %8d\n",
+				name, scheme, res.CPU.Cycles, res.CPU.Insts, res.CPU.IPC(),
+				res.Cache.L1DMisses, res.Cache.L2Misses,
+				float64(res.Cache.L1L2Bytes)/float64(res.Insts.OrigInsts),
+				res.Cache.DistinctL1Lines*32/1024)
+		}
+	}
+}

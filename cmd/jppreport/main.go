@@ -1,0 +1,60 @@
+// Command jppreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	jppreport                 # everything, full-size inputs
+//	jppreport -exp fig5       # one artifact
+//	jppreport -size small     # faster, smaller inputs
+//	jppreport -bench health   # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/olden"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (default: all); one of "+strings.Join(repro.ExperimentIDs(), ","))
+		size  = flag.String("size", "full", "test|small|full")
+		bench = flag.String("bench", "", "restrict to a comma-separated benchmark list")
+	)
+	flag.Parse()
+
+	cfg := repro.ExpConfig{}
+	switch *size {
+	case "test":
+		cfg.Size = olden.SizeTest
+	case "small":
+		cfg.Size = olden.SizeSmall
+	case "full":
+		cfg.Size = olden.SizeFull
+	default:
+		fmt.Fprintf(os.Stderr, "jppreport: unknown size %q\n", *size)
+		os.Exit(1)
+	}
+	if *bench != "" {
+		cfg.Benches = strings.Split(*bench, ",")
+	}
+
+	ids := repro.ExperimentIDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := repro.Reproduce(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jppreport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Text)
+		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,150 @@
+// Command jppsim runs one benchmark under one prefetching scheme on the
+// simulated Table 2 machine and prints the statistics block.
+//
+// Usage:
+//
+//	jppsim -bench health -scheme coop [-idiom chain] [-size full]
+//	       [-interval 8] [-memlat 70] [-split]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "health", "benchmark name (see -list)")
+		scheme   = flag.String("scheme", "none", "none|dbp|sw|coop|hw")
+		idiom    = flag.String("idiom", "", "queue|full|chain|root (default: representative)")
+		size     = flag.String("size", "full", "test|small|full")
+		interval = flag.Int("interval", 0, "jump-pointer interval (0 = 8)")
+		memlat   = flag.Int("memlat", 0, "main memory latency override")
+		split    = flag.Bool("split", false, "also run the compute-time decomposition")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range repro.Benchmarks() {
+			idioms := make([]string, len(b.Idioms))
+			for i, id := range b.Idioms {
+				idioms[i] = id.String()
+			}
+			fmt.Printf("%-10s %-55s idioms=%s passes=%d\n",
+				b.Name, b.Description, strings.Join(idioms, ","), b.Traversals)
+		}
+		return
+	}
+
+	cfg := repro.Config{
+		Bench:      *bench,
+		Interval:   *interval,
+		MemLatency: *memlat,
+	}
+	var err error
+	if cfg.Scheme, err = parseScheme(*scheme); err != nil {
+		fatal(err)
+	}
+	if cfg.Idiom, err = parseIdiom(*idiom); err != nil {
+		fatal(err)
+	}
+	if cfg.Size, err = parseSize(*size); err != nil {
+		fatal(err)
+	}
+
+	if *split {
+		d, err := repro.Split(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(d.Full)
+		fmt.Printf("\ndecomposition: total=%d compute=%d memory=%d (%.0f%% memory stall)\n",
+			d.Total, d.Compute, d.Memory(), 100*float64(d.Memory())/float64(d.Total))
+		return
+	}
+	res, err := repro.Simulate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func printResult(r repro.Result) {
+	fmt.Printf("bench=%s scheme=%v size=%v\n", r.Spec.Bench, r.Spec.Params.Scheme, r.Spec.Params.Size)
+	fmt.Printf("cycles            %d\n", r.CPU.Cycles)
+	fmt.Printf("instructions      %d (orig %d + prefetch overhead %d)\n",
+		r.CPU.Insts, r.Insts.OrigInsts, r.Insts.OvhdInsts)
+	fmt.Printf("IPC               %.3f\n", r.CPU.IPC())
+	fmt.Printf("L1D               %d accesses, %d misses (%.1f%%)\n",
+		r.Cache.L1DAccesses, r.Cache.L1DMisses,
+		100*float64(r.Cache.L1DMisses)/float64(r.Cache.L1DAccesses+1))
+	fmt.Printf("L2                %d accesses, %d misses\n", r.Cache.L2Accesses, r.Cache.L2Misses)
+	fmt.Printf("LDS load misses   %d (other %d), avg in-flight %.2f\n",
+		r.CPU.LDSLoadMiss, r.CPU.OtherMiss, r.CPU.AvgMissOverlap())
+	fmt.Printf("L1<->L2 traffic   %d bytes (%.2f per orig inst)\n",
+		r.Cache.L1L2Bytes, float64(r.Cache.L1L2Bytes)/float64(r.Insts.OrigInsts))
+	fmt.Printf("branches          %d cond, %d mispredicted\n",
+		r.Bpred.CondBranches, r.Bpred.Mispredicts)
+	if r.Engine != nil {
+		fmt.Printf("prefetch engine   issued=%d usefulPBhits=%d trained=%d prqDrops=%d\n",
+			r.Engine.IssuedPrefetch, r.Cache.PBHits, r.Engine.Trained, r.Engine.PRQDrops)
+	}
+	if r.HW != nil {
+		fmt.Printf("hardware JPP      recurrentPCs=%d jpStores=%d jpLaunches=%d\n",
+			r.HW.RecurrentPCs, r.HW.JPStores, r.HW.JPLaunches)
+	}
+}
+
+func parseScheme(s string) (repro.Scheme, error) {
+	switch s {
+	case "none":
+		return repro.SchemeNone, nil
+	case "dbp":
+		return repro.SchemeDBP, nil
+	case "sw", "software":
+		return repro.SchemeSoftware, nil
+	case "coop", "cooperative":
+		return repro.SchemeCooperative, nil
+	case "hw", "hardware":
+		return repro.SchemeHardware, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseIdiom(s string) (repro.Idiom, error) {
+	switch s {
+	case "":
+		return repro.IdiomDefault, nil
+	case "queue":
+		return repro.IdiomQueue, nil
+	case "full":
+		return repro.IdiomFull, nil
+	case "chain":
+		return repro.IdiomChain, nil
+	case "root":
+		return repro.IdiomRoot, nil
+	}
+	return 0, fmt.Errorf("unknown idiom %q", s)
+}
+
+func parseSize(s string) (repro.Size, error) {
+	switch s {
+	case "test":
+		return repro.SizeTest, nil
+	case "small":
+		return repro.SizeSmall, nil
+	case "full":
+		return repro.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jppsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command jpptrace dumps a per-instruction pipeline trace of a
+// simulated run: dispatch, issue and completion cycles for a window of
+// the committed instruction stream.  Useful for inspecting how a
+// prefetching scheme reshapes the timing of a pointer-chasing loop.
+//
+// Usage:
+//
+//	jpptrace -bench health -scheme coop -skip 50000 -n 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbp"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/olden"
+)
+
+type tracer struct {
+	skip, count uint64
+	limit       uint64
+}
+
+func (t *tracer) Trace(d *ir.DynInst, dispatched, issued, done uint64) {
+	if d.Seq <= t.skip || t.count >= t.limit {
+		return
+	}
+	t.count++
+	extra := ""
+	switch {
+	case d.Class == ir.Load:
+		extra = fmt.Sprintf(" addr=%08x", d.Addr)
+		if d.Flags&ir.FLDS != 0 {
+			extra += " LDS"
+		}
+	case d.Class == ir.Prefetch:
+		extra = fmt.Sprintf(" addr=%08x", d.Addr)
+		if d.Flags&ir.FJumpChase != 0 {
+			extra += " JUMP"
+		}
+	case d.Class == ir.Branch:
+		if d.Taken {
+			extra = " taken"
+		}
+	}
+	fmt.Printf("%8d  pc=%06x %-6s disp=%-9d issue=+%-4d done=+%-4d%s\n",
+		d.Seq, d.PC, d.Class, dispatched, issued-dispatched, done-dispatched, extra)
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "health", "benchmark name")
+		scheme = flag.String("scheme", "none", "none|dbp|sw|coop|hw")
+		size   = flag.String("size", "small", "test|small|full")
+		skip   = flag.Uint64("skip", 0, "instructions to skip before tracing")
+		n      = flag.Uint64("n", 50, "instructions to trace")
+	)
+	flag.Parse()
+
+	b, ok := olden.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jpptrace: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	params := olden.Params{Size: map[string]olden.Size{
+		"test": olden.SizeTest, "small": olden.SizeSmall, "full": olden.SizeFull,
+	}[*size]}
+	switch *scheme {
+	case "none":
+		params.Scheme = core.SchemeNone
+	case "dbp":
+		params.Scheme = core.SchemeDBP
+	case "sw":
+		params.Scheme = core.SchemeSoftware
+	case "coop":
+		params.Scheme = core.SchemeCooperative
+	case "hw":
+		params.Scheme = core.SchemeHardware
+	default:
+		fmt.Fprintf(os.Stderr, "jpptrace: unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+
+	img := mem.NewImage()
+	alloc := heap.New(img)
+	memP := cache.Defaults()
+	memP.EnablePB = params.Scheme.UsesHardware()
+	hier := cache.New(memP)
+	pred := bpred.New(bpred.Defaults())
+
+	var eng cpu.PrefetchEngine
+	switch params.Scheme {
+	case core.SchemeHardware:
+		eng = core.NewHWEngine(dbp.Defaults(), core.DefaultHWConfig(), hier, alloc)
+	case core.SchemeDBP, core.SchemeCooperative:
+		eng = dbp.NewEngine(dbp.Defaults(), hier, alloc)
+	}
+
+	cfg := cpu.Defaults()
+	cfg.Tracer = &tracer{skip: *skip, limit: *n}
+	gen := ir.NewGen(alloc, b.Kernel(params))
+	c := cpu.New(cfg, hier, pred, eng)
+	fmt.Printf("# %s / %s — seq, pc, class, dispatch cycle, issue/done deltas\n", *bench, *scheme)
+	stats := c.Run(gen)
+	fmt.Printf("# run: %d cycles, %d instructions, IPC %.2f\n",
+		stats.Cycles, stats.Insts, stats.IPC())
+}

@@ -1,0 +1,59 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Simulate one benchmark under cooperative jump-pointer prefetching and
+// inspect the outcome.  (Uses the test-size input so the example runs
+// in microseconds; drop Size for the full-size input.)
+func ExampleSimulate() {
+	res, err := repro.Simulate(repro.Config{
+		Bench:  "treeadd",
+		Scheme: repro.SchemeCooperative,
+		Size:   repro.SizeTest,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.CPU.Insts > 0, res.CPU.Cycles > 0)
+	// Output: true true
+}
+
+// Split execution time into compute and memory-stall portions with the
+// paper's two-run decomposition.
+func ExampleSplit() {
+	d, err := repro.Split(repro.Config{
+		Bench:  "health",
+		Scheme: repro.SchemeNone,
+		Size:   repro.SizeTest,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Compute+d.Memory() == d.Total)
+	// Output: true
+}
+
+// Regenerate one of the paper's artifacts as a text report.
+func ExampleReproduce() {
+	rep, err := repro.Reproduce("table2", repro.ExpConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.ID, len(rep.Text) > 0)
+	// Output: table2 true
+}
+
+// Enumerate the available workloads.
+func ExampleBenchmarks() {
+	for _, b := range repro.Benchmarks() {
+		if b.Name == "health" {
+			fmt.Println(b.Name, b.Idioms[0])
+		}
+	}
+	// Output: health chain
+}

@@ -1,0 +1,40 @@
+// Latency: the Figure 7 experiment as a library client.  Sweeps main
+// memory latency from 70 to 280 cycles on health and shows that
+// jump-pointer prefetching keeps helping as the processor/memory gap
+// grows, while serial schemes (DBP) fade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("health: normalized execution time vs memory latency")
+	fmt.Printf("%8s %8s %8s %8s %8s\n", "latency", "dbp", "sw", "coop", "hw")
+	for _, lat := range []int{70, 140, 280} {
+		base, err := repro.Simulate(repro.Config{
+			Bench: "health", Scheme: repro.SchemeNone, MemLatency: lat,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%8d", lat)
+		for _, scheme := range []repro.Scheme{
+			repro.SchemeDBP, repro.SchemeSoftware,
+			repro.SchemeCooperative, repro.SchemeHardware,
+		} {
+			res, err := repro.Simulate(repro.Config{
+				Bench: "health", Scheme: scheme, MemLatency: lat,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %8.2f", float64(res.CPU.Cycles)/float64(base.CPU.Cycles))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\n(1.00 = unoptimized at the same latency; lower is better)")
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate the paper's flagship workload (health) without
+// prefetching and with cooperative jump-pointer prefetching, and print
+// the speedup and memory-stall reduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	base, err := repro.Split(repro.Config{
+		Bench:  "health",
+		Scheme: repro.SchemeNone,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coop, err := repro.Split(repro.Config{
+		Bench:  "health",
+		Scheme: repro.SchemeCooperative,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("health on the ISCA'99 Table 2 machine")
+	fmt.Printf("  unoptimized: %9d cycles (%2.0f%% memory stall)\n",
+		base.Total, 100*float64(base.Memory())/float64(base.Total))
+	fmt.Printf("  cooperative: %9d cycles (%2.0f%% memory stall)\n",
+		coop.Total, 100*float64(coop.Memory())/float64(coop.Total))
+	fmt.Printf("  speedup %.0f%%, memory stall cut %.0f%%\n",
+		100*(float64(base.Total)/float64(coop.Total)-1),
+		100*(1-float64(coop.Memory())/float64(base.Memory())))
+
+	// The prefetch engine's own view of the run.
+	if e := coop.Full.Engine; e != nil {
+		fmt.Printf("  engine: %d prefetches issued, %d served demand from the prefetch buffer\n",
+			e.IssuedPrefetch, coop.Full.Cache.PBHits)
+	}
+}

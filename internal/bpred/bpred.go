@@ -1,0 +1,195 @@
+// Package bpred implements the paper's Table 2 branch predictor: an 8K
+// entry combined predictor (10-bit-history gshare and 2-bit bimodal
+// components with a selector) plus a 2K-entry 4-way associative branch
+// target buffer.  Returns are assumed perfectly predicted (standing in
+// for a return-address stack, which the paper does not detail).
+package bpred
+
+// Config sizes the predictor.
+type Config struct {
+	// Entries is the table size of each component (8K in Table 2).
+	Entries int
+	// HistoryBits is the gshare global history length (10).
+	HistoryBits int
+	// BTBEntries and BTBAssoc size the target buffer (2K, 4-way).
+	BTBEntries int
+	BTBAssoc   int
+}
+
+// Defaults returns the Table 2 configuration.
+func Defaults() Config {
+	return Config{Entries: 8192, HistoryBits: 10, BTBEntries: 2048, BTBAssoc: 4}
+}
+
+// Predictor is a combined gshare/bimodal predictor with a BTB.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit counters
+	gshare  []uint8 // 2-bit counters
+	chooser []uint8 // 2-bit: >=2 selects gshare
+	history uint32
+	histMsk uint32
+	idxMask uint32
+
+	btb     [][]btbEntry
+	btbTick uint64
+
+	lookups     uint64
+	dirMispred  uint64
+	btbMisses   uint64
+	condBr      uint64
+	takenBr     uint64
+	jumpLookups uint64
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint32
+	lru    uint64
+	valid  bool
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.Entries),
+		gshare:  make([]uint8, cfg.Entries),
+		chooser: make([]uint8, cfg.Entries),
+		histMsk: (1 << uint(cfg.HistoryBits)) - 1,
+		idxMask: uint32(cfg.Entries - 1),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1 // weakly not-taken
+		p.gshare[i] = 1
+		p.chooser[i] = 1 // weakly bimodal
+	}
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	p.btb = make([][]btbEntry, sets)
+	backing := make([]btbEntry, cfg.BTBEntries)
+	for i := range p.btb {
+		p.btb[i] = backing[i*cfg.BTBAssoc : (i+1)*cfg.BTBAssoc]
+	}
+	return p
+}
+
+func (p *Predictor) indices(pc uint32) (bi, gi uint32) {
+	word := pc >> 2
+	bi = word & p.idxMask
+	gi = (word ^ p.history&p.histMsk) & p.idxMask
+	return
+}
+
+func counterTaken(c uint8) bool { return c >= 2 }
+
+func bump(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// PredictCond predicts a conditional branch at pc and immediately
+// updates with the actual outcome and target (the timing model applies
+// the misprediction penalty; the predictor state is maintained in
+// commit order because the trace is the committed path).
+// It reports whether direction and target were both predicted correctly.
+func (p *Predictor) PredictCond(pc uint32, taken bool, target uint32) bool {
+	p.lookups++
+	p.condBr++
+	if taken {
+		p.takenBr++
+	}
+	bi, gi := p.indices(pc)
+	bPred := counterTaken(p.bimodal[bi])
+	gPred := counterTaken(p.gshare[gi])
+	useG := counterTaken(p.chooser[bi])
+	pred := bPred
+	if useG {
+		pred = gPred
+	}
+
+	correct := pred == taken
+	if taken {
+		// A taken branch also needs its target from the BTB to redirect
+		// fetch without a bubble; train it on every taken instance.
+		if !p.btbLookup(pc, target) && correct {
+			correct = false
+		}
+	}
+	if !correct {
+		p.dirMispred++
+	}
+
+	// Update components and chooser.
+	if bPred != gPred {
+		p.chooser[bi] = bump(p.chooser[bi], gPred == taken)
+	}
+	p.bimodal[bi] = bump(p.bimodal[bi], taken)
+	p.gshare[gi] = bump(p.gshare[gi], taken)
+	p.history = (p.history << 1) & p.histMsk
+	if taken {
+		p.history |= 1
+	}
+	return correct
+}
+
+// PredictJump predicts an unconditional jump/call at pc.  Direct jumps
+// still need a BTB hit to redirect fetch without penalty.
+func (p *Predictor) PredictJump(pc uint32, target uint32) bool {
+	p.lookups++
+	p.jumpLookups++
+	return p.btbLookup(pc, target)
+}
+
+// btbLookup probes and trains the BTB; reports whether pc hit with the
+// right target.
+func (p *Predictor) btbLookup(pc uint32, target uint32) bool {
+	p.btbTick++
+	set := (pc >> 2) & uint32(len(p.btb)-1)
+	tag := (pc >> 2) / uint32(len(p.btb))
+	victim := &p.btb[set][0]
+	for i := range p.btb[set] {
+		e := &p.btb[set][i]
+		if e.valid && e.tag == tag {
+			e.lru = p.btbTick
+			hit := e.target == target
+			if !hit {
+				p.btbMisses++
+			}
+			e.target = target
+			return hit
+		}
+		if !e.valid {
+			victim = e
+		} else if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	p.btbMisses++
+	*victim = btbEntry{tag: tag, target: target, lru: p.btbTick, valid: true}
+	return false
+}
+
+// Stats reports predictor activity.
+type Stats struct {
+	CondBranches uint64
+	TakenShare   float64
+	Mispredicts  uint64
+	BTBMisses    uint64
+}
+
+// Stats returns a snapshot.
+func (p *Predictor) Stats() Stats {
+	s := Stats{CondBranches: p.condBr, Mispredicts: p.dirMispred, BTBMisses: p.btbMisses}
+	if p.condBr > 0 {
+		s.TakenShare = float64(p.takenBr) / float64(p.condBr)
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package bpred
+
+import "testing"
+
+func TestLoopBranchLearned(t *testing.T) {
+	p := New(Defaults())
+	pc, target := uint32(0x400100), uint32(0x400040)
+	// A taken loop-back branch: after warmup, it must predict correctly.
+	warm := 16
+	correct := 0
+	for i := 0; i < 200; i++ {
+		ok := p.PredictCond(pc, true, target)
+		if i >= warm && ok {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("loop branch only predicted %d/184 after warmup", correct)
+	}
+}
+
+func TestAlternatingPatternLearnedByGshare(t *testing.T) {
+	p := New(Defaults())
+	pc, target := uint32(0x400200), uint32(0x400080)
+	correct := 0
+	for i := 0; i < 400; i++ {
+		ok := p.PredictCond(pc, i%2 == 0, target)
+		if i >= 100 && ok {
+			correct++
+		}
+	}
+	// The 10-bit-history gshare component captures a strict
+	// alternation; the chooser must have migrated to it.
+	if correct < 280 {
+		t.Fatalf("alternating branch predicted %d/300 after warmup", correct)
+	}
+}
+
+func TestRandomBranchMispredicts(t *testing.T) {
+	p := New(Defaults())
+	pc, target := uint32(0x400300), uint32(0x4000C0)
+	seed := uint32(12345)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		seed = seed*1664525 + 1013904223
+		if !p.PredictCond(pc, seed&0x10000 != 0, target) {
+			wrong++
+		}
+	}
+	if wrong < 200 {
+		t.Fatalf("random branch mispredicted only %d/1000 times", wrong)
+	}
+}
+
+func TestBTBMissOnFirstTakenBranch(t *testing.T) {
+	p := New(Defaults())
+	// Even with correct direction, the first taken encounter misses the
+	// BTB (no target yet).  Train direction first via not-taken—can't;
+	// instead verify Stats reflect the BTB miss.
+	for i := 0; i < 8; i++ {
+		p.PredictCond(0x400400, true, 0x400000)
+	}
+	s := p.Stats()
+	if s.BTBMisses == 0 {
+		t.Fatal("expected at least one BTB miss on a cold taken branch")
+	}
+}
+
+func TestJumpPrediction(t *testing.T) {
+	p := New(Defaults())
+	if p.PredictJump(0x400500, 0x400100) {
+		t.Fatal("cold jump must miss the BTB")
+	}
+	if !p.PredictJump(0x400500, 0x400100) {
+		t.Fatal("trained jump must hit the BTB")
+	}
+	// A changed target is a miss again.
+	if p.PredictJump(0x400500, 0x400200) {
+		t.Fatal("jump with changed target must miss")
+	}
+}
+
+func TestBTBAssociativity(t *testing.T) {
+	p := New(Defaults())
+	sets := Defaults().BTBEntries / Defaults().BTBAssoc
+	// Four jumps fill one BTB set; all four then hit.
+	base := uint32(0x400000)
+	stride := uint32(sets * 4)
+	for i := 0; i < 4; i++ {
+		p.PredictJump(base+uint32(i)*stride, 0x400800)
+	}
+	for i := 0; i < 4; i++ {
+		if !p.PredictJump(base+uint32(i)*stride, 0x400800) {
+			t.Fatalf("jump %d evicted from a non-full set", i)
+		}
+	}
+	// A fifth conflicting jump misses, then hits once installed.
+	if p.PredictJump(base+4*stride, 0x400800) {
+		t.Fatal("fifth conflicting jump hit a full set cold")
+	}
+	if !p.PredictJump(base+4*stride, 0x400800) {
+		t.Fatal("fifth jump not installed after its miss")
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(Defaults())
+	for i := 0; i < 10; i++ {
+		p.PredictCond(0x400600, i%2 == 0, 0x400000)
+	}
+	s := p.Stats()
+	if s.CondBranches != 10 {
+		t.Fatalf("CondBranches = %d", s.CondBranches)
+	}
+	if s.TakenShare != 0.5 {
+		t.Fatalf("TakenShare = %v", s.TakenShare)
+	}
+}

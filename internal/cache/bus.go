@@ -1,0 +1,42 @@
+package cache
+
+// Bus models a fixed-width data bus clocked at a fraction of the core
+// frequency.  Transfers occupy the bus back to back; the requester gets
+// its critical chunk after one chunk time (critical-word-first) while
+// the bus stays busy for the whole line.
+type Bus struct {
+	chunkBytes  uint64
+	chunkCycles uint64
+	free        uint64
+
+	bytesMoved uint64
+	busyCycles uint64
+}
+
+// NewBus returns a bus moving chunkBytes per chunkCycles core cycles.
+func NewBus(chunkBytes, chunkCycles int) *Bus {
+	return &Bus{chunkBytes: uint64(chunkBytes), chunkCycles: uint64(chunkCycles)}
+}
+
+// Transfer reserves the bus for n bytes starting no earlier than now.
+// It returns the cycle the first chunk (critical word) arrives and the
+// cycle the full transfer completes.
+func (b *Bus) Transfer(now uint64, n int) (first, done uint64) {
+	chunks := (uint64(n) + b.chunkBytes - 1) / b.chunkBytes
+	if chunks == 0 {
+		chunks = 1
+	}
+	start := max(now, b.free)
+	first = start + b.chunkCycles
+	done = start + b.chunkCycles*chunks
+	b.free = done
+	b.bytesMoved += uint64(n)
+	b.busyCycles += b.chunkCycles * chunks
+	return first, done
+}
+
+// BytesMoved reports total bytes transferred.
+func (b *Bus) BytesMoved() uint64 { return b.bytesMoved }
+
+// BusyCycles reports total cycles the bus was reserved.
+func (b *Bus) BusyCycles() uint64 { return b.busyCycles }

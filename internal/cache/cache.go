@@ -1,0 +1,156 @@
+// Package cache models the simulated memory hierarchy of the paper's
+// Table 2: split 1-cycle L1 caches, a shared 12-cycle 512KB L2, 70-cycle
+// main memory, 8B buses clocked at 1/2 (L1<->L2) and 1/4 (L2<->memory)
+// of the core frequency with cycle-level occupancy, 8 outstanding data
+// misses (MSHRs), instruction and data TLBs with 30-cycle hardware miss
+// handling, and the 2KB prefetch buffer used by the hardware prefetching
+// mechanisms.
+//
+// The hierarchy is a timing model only: data values live in the
+// simulated memory image (internal/mem).  Latencies are computed, not
+// event-simulated, but shared resources (buses, MSHRs, the TLB miss
+// handler) are modelled as next-free-cycle reservations so that
+// bandwidth contention — which drives Figure 6 and the voronoi result —
+// is captured.
+package cache
+
+import "math/bits"
+
+// Geom describes one cache's geometry.
+type Geom struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// LatCycles is the access (hit) latency.
+	LatCycles int
+}
+
+// Sets returns the number of sets.
+func (g Geom) Sets() int { return g.SizeBytes / (g.LineBytes * g.Assoc) }
+
+type line struct {
+	tag   uint32
+	lru   uint64
+	valid bool
+	dirty bool
+}
+
+// cache is a set-associative, LRU, write-back tag array.
+type cache struct {
+	geom      Geom
+	sets      [][]line
+	lineShift uint
+	setMask   uint32
+	tick      uint64
+}
+
+func newCache(g Geom) *cache {
+	n := g.Sets()
+	if n == 0 || n&(n-1) != 0 {
+		panic("cache: set count must be a nonzero power of two")
+	}
+	sets := make([][]line, n)
+	backing := make([]line, n*g.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*g.Assoc : (i+1)*g.Assoc]
+	}
+	return &cache{
+		geom:      g,
+		sets:      sets,
+		lineShift: uint(bits.TrailingZeros(uint(g.LineBytes))),
+		setMask:   uint32(n - 1),
+	}
+}
+
+func (c *cache) index(addr uint32) (set uint32, tag uint32) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> bits.TrailingZeros32(c.setMask+1)
+}
+
+// lookup probes for addr; on hit it refreshes LRU state.  Hit/miss
+// accounting is the hierarchy's job (prefetch probes must not pollute
+// demand statistics).
+func (c *cache) lookup(addr uint32) bool {
+	c.tick++
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// probe checks presence without touching LRU or counters.
+func (c *cache) probe(addr uint32) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// setDirty marks addr's line dirty if present.
+func (c *cache) setDirty(addr uint32) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty = true
+			return
+		}
+	}
+}
+
+// fill installs addr's line, returning the evicted victim line address
+// and whether it was valid+dirty.
+func (c *cache) fill(addr uint32) (victimAddr uint32, victimDirty bool, hadVictim bool) {
+	c.tick++
+	set, tag := c.index(addr)
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			// Already present (raced fills merge).
+			ln.lru = c.tick
+			return 0, false, false
+		}
+		if !ln.valid {
+			victim = ln
+		} else if victim.valid && ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid {
+		hadVictim = true
+		victimDirty = victim.dirty
+		// Reconstruct the victim address from its tag and this set.
+		victimAddr = (victim.tag*(c.setMask+1) + set) << c.lineShift
+	}
+	victim.valid = true
+	victim.dirty = false
+	victim.tag = tag
+	victim.lru = c.tick
+	return victimAddr, victimDirty, hadVictim
+}
+
+// invalidate removes addr's line if present.
+func (c *cache) invalidate(addr uint32) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.valid = false
+			return
+		}
+	}
+}
+
+func (c *cache) lineAddr(addr uint32) uint32 {
+	return addr >> c.lineShift << c.lineShift
+}

@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+func TestCacheRetainsWorkingSetBelowCapacity(t *testing.T) {
+	g := Geom{SizeBytes: 512 << 10, LineBytes: 64, Assoc: 4, LatCycles: 12}
+	c := newCache(g)
+	// Touch 5000 lines (320KB) repeatedly; after the first sweep there
+	// must be no misses.
+	const n = 5000
+	for i := 0; i < n; i++ {
+		addr := uint32(0x1000_0000 + i*64)
+		if c.lookup(addr) {
+			t.Fatalf("unexpected hit on cold line %d", i)
+		}
+		c.fill(addr)
+	}
+	for sweep := 0; sweep < 3; sweep++ {
+		miss := 0
+		for i := 0; i < n; i++ {
+			addr := uint32(0x1000_0000 + i*64)
+			if !c.lookup(addr) {
+				miss++
+				c.fill(addr)
+			}
+		}
+		if miss != 0 {
+			t.Fatalf("sweep %d: %d misses on resident working set", sweep, miss)
+		}
+	}
+}

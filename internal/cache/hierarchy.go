@@ -1,0 +1,412 @@
+package cache
+
+// Params configures the memory hierarchy.  Defaults() returns the
+// paper's Table 2 machine.
+type Params struct {
+	L1I Geom
+	L1D Geom
+	L2  Geom
+	// PB is the prefetch buffer geometry (used when EnablePB).
+	PB       Geom
+	EnablePB bool
+
+	// MemLatency is the main-memory access latency in core cycles.
+	MemLatency int
+	// ChunkBytes is the width of both buses (8B in Table 2).
+	ChunkBytes int
+	// L1L2ChunkCycles is core cycles per chunk on the L1<->L2 bus
+	// (bus clocked at 1/2 core frequency => 2).
+	L1L2ChunkCycles int
+	// MemChunkCycles is core cycles per chunk on the memory bus
+	// (1/4 core frequency => 4).
+	MemChunkCycles int
+
+	// MSHRs is the maximum number of outstanding data misses.
+	MSHRs int
+
+	ITLBEntries   int
+	DTLBEntries   int
+	TLBMissCycles int
+	PageBytes     int
+
+	// PerfectData makes all data accesses single-cycle hits.  Used for
+	// the paper's compute-time decomposition runs ("uniform single cycle
+	// data memory access but with realistic cache bandwidth" — port
+	// bandwidth limits live in the core model and remain in effect).
+	PerfectData bool
+}
+
+// Defaults returns the paper's Table 2 configuration.
+func Defaults() Params {
+	return Params{
+		L1I:             Geom{SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2, LatCycles: 1},
+		L1D:             Geom{SizeBytes: 64 << 10, LineBytes: 32, Assoc: 2, LatCycles: 1},
+		L2:              Geom{SizeBytes: 512 << 10, LineBytes: 64, Assoc: 4, LatCycles: 12},
+		PB:              Geom{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 8, LatCycles: 1},
+		MemLatency:      70,
+		ChunkBytes:      8,
+		L1L2ChunkCycles: 2,
+		MemChunkCycles:  4,
+		MSHRs:           8,
+		ITLBEntries:     16,
+		DTLBEntries:     32,
+		TLBMissCycles:   30,
+		PageBytes:       4096,
+	}
+}
+
+// Kind classifies a data access.
+type Kind uint8
+
+// Data access kinds.
+const (
+	// KLoad is a demand load.
+	KLoad Kind = iota
+	// KStore is a demand store.
+	KStore
+	// KPref is a prefetch request (fills the prefetch buffer).
+	KPref
+	// KJPStore is a hardware jump-pointer store into allocator padding
+	// (traffic attributed to prefetching).
+	KJPStore
+)
+
+// Result reports the outcome of a data access.
+type Result struct {
+	// Done is the cycle the data is available (loads / prefetch
+	// arrivals) or the access retires from the cache's perspective.
+	Done uint64
+	// MissL1 is true when the access missed the first-level structures
+	// (L1D and prefetch buffer).
+	MissL1 bool
+	// MissL2 is true when the access also missed the L2.
+	MissL2 bool
+	// TLBMiss is true when address translation missed the DTLB.
+	TLBMiss bool
+	// FromPB is true when a demand access was served by the prefetch
+	// buffer (a useful prefetch).
+	FromPB bool
+	// Dropped is true for prefetch requests that found the line already
+	// present or already in flight.
+	Dropped bool
+}
+
+// Stats aggregates hierarchy counters.
+type Stats struct {
+	L1DAccesses, L1DMisses uint64
+	L1IAccesses, L1IMisses uint64
+	L2Accesses, L2Misses   uint64
+	DTLBMisses, ITLBMisses uint64
+
+	// L1L2Bytes is total traffic on the L1<->L2 bus, split by cause.
+	L1L2Bytes          uint64
+	L1L2DemandBytes    uint64
+	L1L2PrefetchBytes  uint64
+	L1L2WritebackBytes uint64
+	MemBytes           uint64
+
+	PBFills uint64
+	PBHits  uint64
+	// PBHitWaitSum accumulates cycles demand accesses spent waiting for
+	// in-flight prefetched lines (0 for fully timely prefetches).
+	PBHitWaitSum uint64
+	// DemandWaitSum accumulates the full wait (done - issue) of every
+	// demand access, the raw material of the memory-stall story.
+	DemandWaitSum uint64
+
+	DistinctL1Lines int
+}
+
+// Hierarchy is the simulated memory system.
+type Hierarchy struct {
+	p Params
+
+	l1i *cache
+	l1d *cache
+	l2  *cache
+	pb  *cache
+
+	itlb *TLB
+	dtlb *TLB
+
+	l1l2Bus *Bus
+	memBus  *Bus
+
+	mshr []uint64 // per-entry next-free cycle
+
+	// inflight maps an L1-line address to the cycle its fill completes.
+	// Tags are installed eagerly at request time; inflight supplies the
+	// true data-ready time and merges secondary misses.
+	inflight     map[uint32]uint64
+	inflightSeen uint64
+
+	distinct map[uint32]struct{}
+
+	s Stats
+}
+
+// New builds a hierarchy.
+func New(p Params) *Hierarchy {
+	h := &Hierarchy{
+		p:        p,
+		l1i:      newCache(p.L1I),
+		l1d:      newCache(p.L1D),
+		l2:       newCache(p.L2),
+		itlb:     NewTLB(p.ITLBEntries, p.PageBytes, p.TLBMissCycles),
+		dtlb:     NewTLB(p.DTLBEntries, p.PageBytes, p.TLBMissCycles),
+		l1l2Bus:  NewBus(p.ChunkBytes, p.L1L2ChunkCycles),
+		memBus:   NewBus(p.ChunkBytes, p.MemChunkCycles),
+		mshr:     make([]uint64, p.MSHRs),
+		inflight: make(map[uint32]uint64),
+		distinct: make(map[uint32]struct{}),
+	}
+	if p.EnablePB {
+		h.pb = newCache(p.PB)
+	}
+	return h
+}
+
+// Params returns the hierarchy's configuration.
+func (h *Hierarchy) Params() Params { return h.p }
+
+// mshrAlloc picks an outstanding-miss slot, returning the earliest
+// cycle (>= now) at which the miss may start and the slot index.  The
+// caller records the miss completion time into the slot.
+func (h *Hierarchy) mshrAlloc(now uint64) (start uint64, slot int) {
+	best := 0
+	for i, free := range h.mshr {
+		if free <= now {
+			return now, i
+		}
+		if free < h.mshr[best] {
+			best = i
+		}
+	}
+	return h.mshr[best], best
+}
+
+// fetchFromL2 runs the miss path below L1: L2 lookup, possibly memory,
+// and the L1-line transfer over the L1<->L2 bus.  It returns the cycle
+// the critical word reaches the L1 level and whether L2 missed.
+// prefetch attributes the bus traffic.
+func (h *Hierarchy) fetchFromL2(now uint64, addr uint32, prefetch bool) (uint64, bool) {
+	h.s.L2Accesses++
+	tL2 := now + uint64(h.p.L2.LatCycles)
+	l2hit := h.l2.lookup(addr)
+	if !l2hit {
+		h.s.L2Misses++
+		tMem := tL2 + uint64(h.p.MemLatency)
+		firstM, doneM := h.memBus.Transfer(tMem, h.p.L2.LineBytes)
+		h.s.MemBytes += uint64(h.p.L2.LineBytes)
+		if victim, dirty, ok := h.l2.fill(addr); ok && dirty {
+			// L2 writeback to memory: occupies the memory bus only.
+			h.memBus.Transfer(doneM, h.p.L2.LineBytes)
+			h.s.MemBytes += uint64(h.p.L2.LineBytes)
+			_ = victim
+		}
+		tL2 = firstM
+	}
+	first, _ := h.l1l2Bus.Transfer(tL2, h.p.L1D.LineBytes)
+	h.s.L1L2Bytes += uint64(h.p.L1D.LineBytes)
+	if prefetch {
+		h.s.L1L2PrefetchBytes += uint64(h.p.L1D.LineBytes)
+	} else {
+		h.s.L1L2DemandBytes += uint64(h.p.L1D.LineBytes)
+	}
+	return first, !l2hit
+}
+
+// writebackL1 charges an L1 victim writeback to the L1<->L2 bus and
+// marks the line dirty in L2.
+func (h *Hierarchy) writebackL1(now uint64, victim uint32) {
+	h.l1l2Bus.Transfer(now, h.p.L1D.LineBytes)
+	h.s.L1L2Bytes += uint64(h.p.L1D.LineBytes)
+	h.s.L1L2WritebackBytes += uint64(h.p.L1D.LineBytes)
+	if h.l2.probe(victim) {
+		h.l2.setDirty(victim)
+	}
+	// If the victim is not in L2 (inclusive-victim simplification), the
+	// writeback allocates it there silently.
+}
+
+func (h *Hierarchy) sweepInflight(now uint64) {
+	h.inflightSeen++
+	if h.inflightSeen%4096 != 0 || len(h.inflight) < 64 {
+		return
+	}
+	for l, d := range h.inflight {
+		if d <= now {
+			delete(h.inflight, l)
+		}
+	}
+}
+
+// AccessData performs a data-side access at cycle now.
+func (h *Hierarchy) AccessData(now uint64, addr uint32, kind Kind) Result {
+	res := h.accessData(now, addr, kind)
+	if (kind == KLoad || kind == KStore) && !h.p.PerfectData {
+		h.s.DemandWaitSum += res.Done - now
+	}
+	return res
+}
+
+func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
+	if h.p.PerfectData {
+		return Result{Done: now + 1}
+	}
+	h.sweepInflight(now)
+	line := h.l1d.lineAddr(addr)
+	demand := kind == KLoad || kind == KStore
+	if demand {
+		h.distinct[line] = struct{}{}
+	}
+
+	var res Result
+	ready, tlbMiss := h.dtlb.Access(now, addr)
+	res.TLBMiss = tlbMiss
+	now = ready
+
+	// L1D probe.
+	l1hit := h.l1d.lookup(addr)
+	if demand {
+		h.s.L1DAccesses++
+		if !l1hit {
+			h.s.L1DMisses++
+		}
+	}
+	if l1hit {
+		done := now + uint64(h.p.L1D.LatCycles)
+		if d, ok := h.inflight[line]; ok {
+			if d > done {
+				done = d
+			} else {
+				delete(h.inflight, line)
+			}
+		}
+		if kind == KStore || kind == KJPStore {
+			h.l1d.setDirty(addr)
+		}
+		if kind == KPref {
+			return Result{Done: done, Dropped: true}
+		}
+		res.Done = done
+		return res
+	}
+
+	// Prefetch buffer probe.
+	if h.pb != nil && h.pb.lookup(addr) {
+		done := now + uint64(h.p.PB.LatCycles)
+		if d, ok := h.inflight[line]; ok {
+			if d > done {
+				done = d
+			} else {
+				delete(h.inflight, line)
+			}
+		}
+		if kind == KPref {
+			return Result{Done: done, Dropped: true}
+		}
+		// A used prefetch: install into the L1 and retire the PB copy.
+		h.s.PBHits++
+		h.s.PBHitWaitSum += done - (now + 1)
+		h.pb.invalidate(addr)
+		if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
+			h.writebackL1(done, victim)
+		}
+		if kind == KStore || kind == KJPStore {
+			h.l1d.setDirty(addr)
+		}
+		res.Done = done
+		res.FromPB = true
+		return res
+	}
+
+	res.MissL1 = true
+
+	// Merge with an in-flight fill of the same line.
+	if d, ok := h.inflight[line]; ok && d > now {
+		if kind == KPref {
+			return Result{Done: d, MissL1: true, Dropped: true}
+		}
+		// The line is being filled (into L1 or PB); tags were installed
+		// eagerly, but a second structure may need the line too.  Keep
+		// it simple: the requester just waits for the fill.
+		res.Done = d
+		return res
+	}
+
+	// True miss: allocate an MSHR and go below.
+	start, slot := h.mshrAlloc(now)
+	first, l2miss := h.fetchFromL2(start, addr, kind == KPref || kind == KJPStore)
+	res.MissL2 = l2miss
+	h.mshr[slot] = first
+
+	if kind == KPref {
+		h.s.PBFills++
+		if h.pb != nil {
+			h.pb.fill(addr)
+		} else {
+			if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
+				h.writebackL1(first, victim)
+			}
+		}
+	} else {
+		if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
+			h.writebackL1(first, victim)
+		}
+		if kind == KStore || kind == KJPStore {
+			h.l1d.setDirty(addr)
+		}
+	}
+	h.inflight[line] = first
+	res.Done = first
+	return res
+}
+
+// PresentL1 reports whether addr's line is resident in the L1 data
+// cache or the prefetch buffer, without disturbing replacement state.
+// The hardware JPP engine uses it to make jump-pointer stores
+// best-effort: a store to a non-resident home would otherwise fetch and
+// dirty a whole line just to plant a hint.
+func (h *Hierarchy) PresentL1(addr uint32) bool {
+	if h.l1d.probe(addr) {
+		return true
+	}
+	return h.pb != nil && h.pb.probe(addr)
+}
+
+// DirtyL1 marks addr's line dirty if it is L1-resident.  Hardware
+// jump-pointer stores merge into the home node's already-fetched block
+// (the annotated-load mechanism of section 3.3 computes the padding
+// address as part of the triggering load), so their only memory-system
+// cost is the eventual writeback of the dirtied line.
+func (h *Hierarchy) DirtyL1(addr uint32) {
+	h.l1d.setDirty(addr)
+}
+
+// AccessInst fetches the instruction block containing pc at cycle now,
+// returning the cycle the block is available and whether L1I missed.
+func (h *Hierarchy) AccessInst(now uint64, pc uint32) (uint64, bool) {
+	ready, _ := h.itlb.Access(now, pc)
+	now = ready
+	h.s.L1IAccesses++
+	if h.l1i.lookup(pc) {
+		return now + uint64(h.p.L1I.LatCycles), false
+	}
+	h.s.L1IMisses++
+	first, _ := h.fetchFromL2(now, pc, false)
+	h.l1i.fill(pc)
+	return first, true
+}
+
+// LineBytes returns the L1 data line size.
+func (h *Hierarchy) LineBytes() int { return h.p.L1D.LineBytes }
+
+// Stats returns a snapshot of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.s
+	_, s.DTLBMisses = h.dtlb.Stats()
+	_, s.ITLBMisses = h.itlb.Stats()
+	s.DistinctL1Lines = len(h.distinct)
+	return s
+}

@@ -1,0 +1,65 @@
+package cache
+
+// TLB is a fully-associative, LRU translation lookaside buffer with
+// 30-cycle hardware miss handling (Table 2).  As in SimpleScalar, a
+// miss adds the handling latency to the faulting access; concurrent
+// misses overlap (the hardware walker is pipelined).
+type TLB struct {
+	entries   []tlbEntry
+	pageShift uint
+	missLat   uint64
+	tick      uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+type tlbEntry struct {
+	vpn   uint32
+	lru   uint64
+	valid bool
+}
+
+// NewTLB returns a TLB with n entries over pages of pageBytes.
+func NewTLB(n int, pageBytes int, missLat int) *TLB {
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{
+		entries:   make([]tlbEntry, n),
+		pageShift: shift,
+		missLat:   uint64(missLat),
+	}
+}
+
+// Access translates addr at cycle now.  It returns the cycle at which
+// the translation is available (now for a hit) and whether it missed.
+// On a miss the handler is reserved and the missing page installed.
+func (t *TLB) Access(now uint64, addr uint32) (ready uint64, miss bool) {
+	t.accesses++
+	t.tick++
+	vpn := addr >> t.pageShift
+	victim := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.lru = t.tick
+			return now, false
+		}
+		if !e.valid {
+			victim = e
+		} else if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	t.misses++
+	ready = now + t.missLat
+	victim.valid = true
+	victim.vpn = vpn
+	victim.lru = t.tick
+	return ready, true
+}
+
+// Stats reports accesses and misses.
+func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }

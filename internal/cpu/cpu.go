@@ -1,0 +1,533 @@
+// Package cpu implements the out-of-order timing core of the paper's
+// Table 2 machine: a 5-stage, 4-way superscalar pipeline with 64
+// instructions in flight, a 32-entry load/store queue with a 1-cycle
+// load bypass (loads wait for all previous store addresses before
+// issuing), the listed functional units, and software prefetches that
+// are non-binding, complete on issue and may initiate TLB miss
+// handling.
+//
+// The core consumes the dynamic instruction stream produced by
+// internal/ir generators.  Because the stream is the committed path,
+// wrong-path instructions are not executed; a mispredicted branch
+// instead freezes fetch until it resolves plus a front-end refill
+// penalty (an approximation documented in DESIGN.md).
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/ir"
+)
+
+// PrefetchEngine is the hook through which hardware prefetching
+// mechanisms (DBP, cooperative chaining, hardware JPP) observe the core
+// and inject prefetch requests.  All methods are called with the
+// current cycle.
+type PrefetchEngine interface {
+	// OnLoadIssue fires when a demand load issues to the data cache.
+	OnLoadIssue(now uint64, d *ir.DynInst)
+	// OnLoadComplete fires when a demand load's value arrives.
+	OnLoadComplete(now uint64, d *ir.DynInst)
+	// OnCommit fires for every instruction in program order.
+	OnCommit(now uint64, d *ir.DynInst)
+	// OnSWPrefetch fires when a software prefetch issues; done is the
+	// cycle its block arrives.
+	OnSWPrefetch(now uint64, d *ir.DynInst, done uint64)
+	// Tick runs once per cycle with the number of idle data-cache
+	// ports; it returns how many the engine consumed.
+	Tick(now uint64, freePorts int) int
+}
+
+// FU describes one functional unit class: how many units exist and the
+// operation latency.  Pipelined units accept one op per unit per cycle;
+// non-pipelined units (the dividers and multiplier, as in SimpleScalar)
+// are busy for the full latency.
+type FU struct {
+	Count     int
+	Latency   int
+	Pipelined bool
+}
+
+// Config parameterizes the core.  Defaults() is the Table 2 machine.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	WindowSize  int
+	LSQSize     int
+	MemPorts    int
+	// MispredictPenalty is the front-end refill time after a resolved
+	// misprediction.
+	MispredictPenalty int
+	// BTBMissPenalty is the fetch bubble for a direct jump whose target
+	// missed in the BTB.
+	BTBMissPenalty int
+
+	FUs [ir.NumClasses]FU
+
+	// MaxCycles aborts runaway simulations; 0 means no limit.
+	MaxCycles uint64
+
+	// Tracer, when non-nil, receives per-instruction pipeline events
+	// (used by cmd/jpptrace and tests; nil costs nothing).
+	Tracer Tracer
+}
+
+// Tracer observes pipeline events for every instruction.
+type Tracer interface {
+	// Trace reports one instruction's life: dispatch (entered the
+	// window), issue, and completion cycles.
+	Trace(d *ir.DynInst, dispatched, issued, done uint64)
+}
+
+// Defaults returns the paper's Table 2 core configuration.
+func Defaults() Config {
+	var fus [ir.NumClasses]FU
+	fus[ir.Nop] = FU{Count: 4, Latency: 1, Pipelined: true}
+	fus[ir.IntAlu] = FU{Count: 4, Latency: 1, Pipelined: true}
+	fus[ir.IntMult] = FU{Count: 1, Latency: 3, Pipelined: false}
+	fus[ir.IntDiv] = FU{Count: 1, Latency: 20, Pipelined: false}
+	fus[ir.FpAdd] = FU{Count: 2, Latency: 2, Pipelined: true}
+	fus[ir.FpMult] = FU{Count: 1, Latency: 4, Pipelined: false}
+	fus[ir.FpDiv] = FU{Count: 1, Latency: 24, Pipelined: false}
+	// Branches resolve on the integer ALUs.
+	fus[ir.Branch] = FU{Count: 4, Latency: 1, Pipelined: true}
+	fus[ir.Jump] = FU{Count: 4, Latency: 1, Pipelined: true}
+	// Memory ops use the two cache ports (modelled separately); the FU
+	// entry provides the 1-cycle address generation slot.
+	fus[ir.Load] = FU{Count: 2, Latency: 1, Pipelined: true}
+	fus[ir.Store] = FU{Count: 2, Latency: 1, Pipelined: true}
+	fus[ir.Prefetch] = FU{Count: 2, Latency: 1, Pipelined: true}
+	return Config{
+		FetchWidth:        4,
+		IssueWidth:        4,
+		CommitWidth:       4,
+		WindowSize:        64,
+		LSQSize:           32,
+		MemPorts:          2,
+		MispredictPenalty: 3,
+		BTBMissPenalty:    1,
+		FUs:               fus,
+	}
+}
+
+// Stats reports a run's outcome.
+type Stats struct {
+	Cycles       uint64
+	Insts        uint64
+	CommitByCl   [ir.NumClasses]uint64
+	LDSLoadMiss  uint64
+	OtherMiss    uint64
+	DemandMisses uint64
+	LoadsFromPB  uint64
+	DTLBStalls   uint64
+
+	// MissOverlapSum accumulates, for every demand load miss, the
+	// number of other demand misses in flight when it issued; divided
+	// by DemandMisses it gives the paper's Table 1 parallelism metric.
+	MissOverlapSum uint64
+
+	FetchStallCycles uint64
+	Truncated        bool
+}
+
+// AvgMissOverlap returns the average in-flight demand misses observed
+// by each demand miss (including itself).
+func (s Stats) AvgMissOverlap() float64 {
+	if s.DemandMisses == 0 {
+		return 0
+	}
+	return float64(s.MissOverlapSum)/float64(s.DemandMisses) + 1
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	d            ir.DynInst
+	doneAt       uint64
+	dispatchedAt uint64
+	issuedAt     uint64
+	issued       bool
+	isMem        bool
+}
+
+// Core is one simulation instance.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	pred *bpred.Predictor
+	eng  PrefetchEngine
+
+	now uint64
+
+	rob     []robEntry
+	head    int
+	count   int
+	headSeq uint64 // sequence number of the ROB head
+	nextSeq uint64 // next sequence number to dispatch
+
+	// status ring: done time per in-flight sequence number.
+	ring []uint64 // doneAt; ^0 means not complete
+
+	lsqUsed int
+
+	// Fetch state.
+	fetchReadyAt uint64
+	// blockSeq is the sequence of a mispredicted branch fetch waits on.
+	blockSeq uint64
+	fetched  *ir.DynInst // staged instruction not yet dispatched
+	curLine  uint32      // current fetch line (+1 so 0 means none)
+
+	// divFree tracks per-class next-free cycles for non-pipelined FUs.
+	divFree [ir.NumClasses]uint64
+
+	// outstanding demand-miss completion times (parallelism metric).
+	missDone []uint64
+
+	// pending load completions for engine callbacks.
+	loadDone []loadEvent
+
+	s Stats
+}
+
+type loadEvent struct {
+	at uint64
+	d  ir.DynInst
+}
+
+// New builds a core over a hierarchy and branch predictor; eng may be
+// nil for runs without hardware prefetching.
+func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor, eng PrefetchEngine) *Core {
+	ringSize := 1
+	for ringSize < cfg.WindowSize*2 {
+		ringSize <<= 1
+	}
+	c := &Core{
+		cfg:     cfg,
+		hier:    hier,
+		pred:    pred,
+		eng:     eng,
+		rob:     make([]robEntry, cfg.WindowSize),
+		ring:    make([]uint64, ringSize),
+		headSeq: 1,
+		nextSeq: 1,
+	}
+	for i := range c.ring {
+		c.ring[i] = ^uint64(0)
+	}
+	return c
+}
+
+func (c *Core) ready(src uint64) bool {
+	if src == 0 || src < c.headSeq {
+		return true
+	}
+	if src >= c.nextSeq {
+		// Producer not yet dispatched (should not happen: program order).
+		return false
+	}
+	return c.ring[src&uint64(len(c.ring)-1)] <= c.now
+}
+
+// Run simulates the stream to completion and returns the statistics.
+func (c *Core) Run(gen *ir.Gen) Stats {
+	cw := c.cfg.CommitWidth
+	for {
+		// ---- commit ----
+		for n := 0; n < cw && c.count > 0; n++ {
+			e := &c.rob[c.head]
+			if !e.issued || e.doneAt > c.now {
+				break
+			}
+			if c.eng != nil {
+				c.eng.OnCommit(c.now, &e.d)
+			}
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Trace(&e.d, e.dispatchedAt, e.issuedAt, e.doneAt)
+			}
+			c.s.CommitByCl[e.d.Class]++
+			c.s.Insts++
+			if e.isMem {
+				c.lsqUsed--
+			}
+			c.head = (c.head + 1) % len(c.rob)
+			c.count--
+			c.headSeq++
+		}
+
+		// ---- deliver load completions to the engine ----
+		if c.eng != nil && len(c.loadDone) > 0 {
+			kept := c.loadDone[:0]
+			for i := range c.loadDone {
+				ev := &c.loadDone[i]
+				if ev.at <= c.now {
+					c.eng.OnLoadComplete(c.now, &ev.d)
+				} else {
+					kept = append(kept, *ev)
+				}
+			}
+			c.loadDone = kept
+		}
+
+		// ---- issue ----
+		memUsed := c.issue()
+
+		// ---- fetch/dispatch ----
+		done := c.fetchDispatch(gen)
+
+		// ---- prefetch engine ----
+		if c.eng != nil {
+			free := c.cfg.MemPorts - memUsed
+			if free > 0 {
+				c.eng.Tick(c.now, free)
+			} else {
+				c.eng.Tick(c.now, 0)
+			}
+		}
+
+		if done && c.count == 0 {
+			break
+		}
+		c.now++
+		if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+			c.s.Truncated = true
+			gen.Stop()
+			break
+		}
+	}
+	c.s.Cycles = c.now
+	return c.s
+}
+
+// issue scans the window oldest-first and issues up to IssueWidth ready
+// instructions, respecting FU counts, memory ports and LSQ ordering
+// rules.  It returns the number of memory ports consumed.
+func (c *Core) issue() int {
+	issued := 0
+	memUsed := 0
+	var aluUsed, fpAddUsed int
+	sawUnissuedStore := false
+
+	for k := 0; k < c.count && issued < c.cfg.IssueWidth; k++ {
+		idx := (c.head + k) % len(c.rob)
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		d := &e.d
+		if !c.ready(d.Src1) || !c.ready(d.Src2) {
+			if d.Class == ir.Store {
+				sawUnissuedStore = true
+			}
+			continue
+		}
+		switch d.Class {
+		case ir.Load:
+			// Loads wait for all previous store addresses.
+			if sawUnissuedStore || memUsed >= c.cfg.MemPorts {
+				continue
+			}
+			memUsed++
+			c.issueLoad(idx)
+		case ir.Store:
+			if memUsed >= c.cfg.MemPorts {
+				sawUnissuedStore = true
+				continue
+			}
+			memUsed++
+			c.hier.AccessData(c.now, d.Addr, cache.KStore)
+			e.issued = true
+			e.doneAt = c.now + 1
+		case ir.Prefetch:
+			if memUsed >= c.cfg.MemPorts {
+				continue
+			}
+			memUsed++
+			res := c.hier.AccessData(c.now, d.Addr, cache.KPref)
+			e.issued = true
+			e.doneAt = c.now + 1 // non-binding: completes on issue
+			if c.eng != nil {
+				c.eng.OnSWPrefetch(c.now, d, res.Done)
+			}
+		case ir.IntMult, ir.IntDiv, ir.FpMult, ir.FpDiv:
+			fu := c.cfg.FUs[d.Class]
+			if c.divFree[d.Class] > c.now {
+				continue
+			}
+			e.issued = true
+			e.doneAt = c.now + uint64(fu.Latency)
+			if !fu.Pipelined {
+				c.divFree[d.Class] = e.doneAt
+			}
+		case ir.FpAdd:
+			if fpAddUsed >= c.cfg.FUs[ir.FpAdd].Count {
+				continue
+			}
+			fpAddUsed++
+			e.issued = true
+			e.doneAt = c.now + uint64(c.cfg.FUs[ir.FpAdd].Latency)
+		default: // IntAlu, Nop, Branch, Jump
+			if aluUsed >= c.cfg.FUs[ir.IntAlu].Count {
+				continue
+			}
+			aluUsed++
+			e.issued = true
+			e.doneAt = c.now + 1
+		}
+		if e.issued {
+			issued++
+			e.issuedAt = c.now
+			c.ring[d.Seq&uint64(len(c.ring)-1)] = e.doneAt
+			if d.Seq == c.blockSeq {
+				// The mispredicted branch resolved; restart fetch.
+				c.fetchReadyAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
+				c.blockSeq = 0
+			}
+		}
+	}
+	return memUsed
+}
+
+func (c *Core) issueLoad(idx int) {
+	e := &c.rob[idx]
+	d := &e.d
+
+	// Store-to-load forwarding: an older store in the window to the
+	// same word supplies the value through the 1-cycle bypass.
+	for k := 0; k < c.count; k++ {
+		j := (c.head + k) % len(c.rob)
+		if j == idx {
+			break
+		}
+		o := &c.rob[j]
+		if o.d.Class == ir.Store && o.d.Addr == d.Addr {
+			e.issued = true
+			e.issuedAt = c.now
+			e.doneAt = c.now + 1
+			c.finishLoad(e)
+			return
+		}
+	}
+
+	res := c.hier.AccessData(c.now, d.Addr, cache.KLoad)
+	e.issued = true
+	e.doneAt = res.Done
+	if res.TLBMiss {
+		c.s.DTLBStalls++
+	}
+	if res.FromPB {
+		c.s.LoadsFromPB++
+	}
+	if res.MissL1 {
+		c.s.DemandMisses++
+		if d.Flags&ir.FLDS != 0 {
+			c.s.LDSLoadMiss++
+		} else {
+			c.s.OtherMiss++
+		}
+		// Parallelism metric: count other demand misses in flight.
+		inFlight := uint64(0)
+		kept := c.missDone[:0]
+		for _, t := range c.missDone {
+			if t > c.now {
+				inFlight++
+				kept = append(kept, t)
+			}
+		}
+		c.missDone = append(kept, res.Done)
+		c.s.MissOverlapSum += inFlight
+	}
+	if c.eng != nil {
+		c.eng.OnLoadIssue(c.now, d)
+	}
+	c.finishLoad(e)
+}
+
+func (c *Core) finishLoad(e *robEntry) {
+	if c.eng != nil {
+		c.loadDone = append(c.loadDone, loadEvent{at: e.doneAt, d: e.d})
+	}
+}
+
+// fetchDispatch brings up to FetchWidth instructions into the window.
+// It returns true when the stream is exhausted.
+func (c *Core) fetchDispatch(gen *ir.Gen) bool {
+	if c.now < c.fetchReadyAt || c.blockSeq != 0 {
+		c.s.FetchStallCycles++
+		return false
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count >= len(c.rob) {
+			return false
+		}
+		d := c.fetched
+		if d == nil {
+			d = gen.Next()
+			if d == nil {
+				return true
+			}
+		}
+		// Instruction cache: fetching a new line may stall.
+		line := d.PC>>5<<5 | 1
+		if line != c.curLine {
+			ready, miss := c.hier.AccessInst(c.now, d.PC)
+			c.curLine = line
+			if miss || ready > c.now+1 {
+				c.fetchReadyAt = ready
+				c.fetched = d
+				return false
+			}
+		}
+		// LSQ space.
+		isMem := d.IsMem()
+		if isMem && c.lsqUsed >= c.cfg.LSQSize {
+			c.fetched = d
+			return false
+		}
+		c.fetched = nil
+
+		// Dispatch into the window.
+		tail := (c.head + c.count) % len(c.rob)
+		c.rob[tail] = robEntry{d: *d, isMem: isMem, dispatchedAt: c.now}
+		c.ring[d.Seq&uint64(len(c.ring)-1)] = ^uint64(0)
+		c.count++
+		c.nextSeq = d.Seq + 1
+		if isMem {
+			c.lsqUsed++
+		}
+
+		// Control flow.
+		switch d.Class {
+		case ir.Branch:
+			ok := c.pred.PredictCond(d.PC, d.Taken, d.Target)
+			if !ok {
+				// Freeze fetch until this branch resolves.
+				c.blockSeq = d.Seq
+				return false
+			}
+			if d.Taken {
+				c.curLine = 0 // taken branch ends the fetch group
+				return false
+			}
+		case ir.Jump:
+			if d.Flags&ir.FReturn != 0 {
+				c.curLine = 0
+				return false // perfect return prediction, group ends
+			}
+			if !c.pred.PredictJump(d.PC, d.Target) {
+				c.fetchReadyAt = c.now + 1 + uint64(c.cfg.BTBMissPenalty)
+				c.curLine = 0
+				return false
+			}
+			c.curLine = 0
+			return false
+		}
+	}
+	return false
+}

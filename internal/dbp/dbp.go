@@ -1,0 +1,159 @@
+// Package dbp implements dependence-based prefetching (Roth, Moshovos &
+// Sohi [16]), which the paper uses both as its comparison baseline and
+// as the chained-prefetching hardware inside the cooperative and
+// hardware JPP implementations.
+//
+// The mechanism has three parts (paper §3.2, Table 2):
+//
+//   - a potential-producer window (PPW) that remembers recently loaded
+//     values and the loads that produced them;
+//   - a 256-entry, 4-way associative dependence predictor (DP) holding
+//     (producer PC -> consumer PC, offset) correlations, allowing two
+//     queries per cycle;
+//   - an 8-entry prefetch request queue (PRQ) whose requests issue when
+//     data-cache ports are idle, filling a prefetch buffer.
+//
+// Completed prefetches re-query the predictor with the value they
+// fetched, chaining down the linked structure.
+package dbp
+
+// PPW is the potential producer window: a FIFO of the last N (value,
+// producerPC) pairs.  Training looks up a load's base address in the
+// window; a hit establishes a producer->consumer dependence.
+type PPW struct {
+	ring []ppwEntry
+	pos  int
+	idx  map[uint32]uint32 // value -> producer PC (latest wins)
+}
+
+type ppwEntry struct {
+	value uint32
+	valid bool
+}
+
+// NewPPW returns a window of n entries.
+func NewPPW(n int) *PPW {
+	return &PPW{ring: make([]ppwEntry, n), idx: make(map[uint32]uint32, n)}
+}
+
+// Insert records that pc produced value.
+func (w *PPW) Insert(value, pc uint32) {
+	if value == 0 {
+		return
+	}
+	old := &w.ring[w.pos]
+	if old.valid {
+		// Only clear the index if no newer insert overwrote it.
+		delete(w.idx, old.value)
+	}
+	*old = ppwEntry{value: value, valid: true}
+	w.idx[value] = pc
+	w.pos = (w.pos + 1) % len(w.ring)
+}
+
+// Lookup returns the PC that most recently produced value.
+func (w *PPW) Lookup(value uint32) (pc uint32, ok bool) {
+	pc, ok = w.idx[value]
+	return
+}
+
+// Dep is one dependence predictor correlation.
+type Dep struct {
+	ConsumerPC uint32
+	Offset     uint32
+}
+
+// DepPredictor is the set-associative dependence predictor.
+type DepPredictor struct {
+	sets  [][]dpEntry
+	assoc int
+	tick  uint64
+
+	inserts uint64
+	queries uint64
+	hits    uint64
+}
+
+type dpEntry struct {
+	producer uint32
+	consumer uint32
+	offset   uint32
+	lru      uint64
+	valid    bool
+}
+
+// NewDepPredictor builds a predictor with the given total entries and
+// associativity (Table 2: 256 entries, 4-way).
+func NewDepPredictor(entries, assoc int) *DepPredictor {
+	setsN := entries / assoc
+	sets := make([][]dpEntry, setsN)
+	backing := make([]dpEntry, entries)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return &DepPredictor{sets: sets, assoc: assoc}
+}
+
+func (d *DepPredictor) set(pc uint32) []dpEntry {
+	return d.sets[(pc>>2)&uint32(len(d.sets)-1)]
+}
+
+// Insert records the correlation producer -> (consumer, offset).
+func (d *DepPredictor) Insert(producer, consumer, offset uint32) {
+	d.inserts++
+	d.tick++
+	set := d.set(producer)
+	victim := &set[0]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.producer == producer && e.consumer == consumer {
+			e.offset = offset
+			e.lru = d.tick
+			return
+		}
+		if !e.valid {
+			victim = e
+		} else if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	*victim = dpEntry{producer: producer, consumer: consumer, offset: offset,
+		lru: d.tick, valid: true}
+}
+
+// Query returns the consumers correlated with producer pc.  The result
+// slice is freshly allocated per call only on hits (hot paths tolerate
+// this; sets are tiny).
+func (d *DepPredictor) Query(pc uint32) []Dep {
+	d.queries++
+	set := d.set(pc)
+	var out []Dep
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.producer == pc {
+			e.lru = d.tick
+			out = append(out, Dep{ConsumerPC: e.consumer, Offset: e.offset})
+		}
+	}
+	if len(out) > 0 {
+		d.hits++
+	}
+	return out
+}
+
+// HasEdge reports whether producer -> consumer is recorded.
+func (d *DepPredictor) HasEdge(producer, consumer uint32) bool {
+	set := d.set(producer)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.producer == producer && e.consumer == consumer {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports predictor activity.
+func (d *DepPredictor) Stats() (inserts, queries, hits uint64) {
+	return d.inserts, d.queries, d.hits
+}

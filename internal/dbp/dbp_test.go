@@ -1,0 +1,138 @@
+package dbp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPPWInsertLookup(t *testing.T) {
+	w := NewPPW(4)
+	w.Insert(0x1000, 0x400100)
+	if pc, ok := w.Lookup(0x1000); !ok || pc != 0x400100 {
+		t.Fatalf("Lookup = %#x, %v", pc, ok)
+	}
+	if _, ok := w.Lookup(0x2000); ok {
+		t.Fatal("spurious hit")
+	}
+}
+
+func TestPPWFIFOCapacity(t *testing.T) {
+	w := NewPPW(4)
+	for i := 0; i < 5; i++ {
+		w.Insert(uint32(0x1000+i*16), uint32(0x400100+i*4))
+	}
+	// The oldest entry fell out.
+	if _, ok := w.Lookup(0x1000); ok {
+		t.Fatal("FIFO did not evict the oldest producer")
+	}
+	for i := 1; i < 5; i++ {
+		if _, ok := w.Lookup(uint32(0x1000 + i*16)); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+}
+
+func TestPPWIgnoresZero(t *testing.T) {
+	w := NewPPW(4)
+	w.Insert(0, 0x400100)
+	if _, ok := w.Lookup(0); ok {
+		t.Fatal("null pointer tracked as a producer")
+	}
+}
+
+func TestPPWLatestWins(t *testing.T) {
+	w := NewPPW(8)
+	w.Insert(0x1000, 0x400100)
+	w.Insert(0x1000, 0x400200)
+	if pc, _ := w.Lookup(0x1000); pc != 0x400200 {
+		t.Fatalf("latest producer not returned: %#x", pc)
+	}
+}
+
+func TestDepPredictorInsertQuery(t *testing.T) {
+	dp := NewDepPredictor(256, 4)
+	dp.Insert(0x400100, 0x400104, 8)
+	dp.Insert(0x400100, 0x400108, 4)
+	deps := dp.Query(0x400100)
+	if len(deps) != 2 {
+		t.Fatalf("Query returned %d deps", len(deps))
+	}
+	seen := map[uint32]uint32{}
+	for _, d := range deps {
+		seen[d.ConsumerPC] = d.Offset
+	}
+	if seen[0x400104] != 8 || seen[0x400108] != 4 {
+		t.Fatalf("deps wrong: %v", deps)
+	}
+}
+
+func TestDepPredictorUpdateInPlace(t *testing.T) {
+	dp := NewDepPredictor(256, 4)
+	dp.Insert(0x400100, 0x400104, 8)
+	dp.Insert(0x400100, 0x400104, 12) // same pair, new offset
+	deps := dp.Query(0x400100)
+	if len(deps) != 1 || deps[0].Offset != 12 {
+		t.Fatalf("in-place update failed: %v", deps)
+	}
+}
+
+func TestDepPredictorSetEviction(t *testing.T) {
+	dp := NewDepPredictor(256, 4)
+	// Five producers mapping to the same set (64 sets; stride 64*4 in
+	// PC space).
+	base := uint32(0x400000)
+	for i := 0; i < 5; i++ {
+		dp.Insert(base+uint32(i)*64*4, 0x400104, uint32(i))
+	}
+	hits := 0
+	for i := 0; i < 5; i++ {
+		if len(dp.Query(base+uint32(i)*64*4)) > 0 {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("%d of 5 conflicting entries survive a 4-way set", hits)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	dp := NewDepPredictor(256, 4)
+	dp.Insert(0x400100, 0x400100, 4) // self edge (recurrent load)
+	if !dp.HasEdge(0x400100, 0x400100) {
+		t.Fatal("self edge not found")
+	}
+	if dp.HasEdge(0x400104, 0x400100) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestPPWNeverReturnsWrongProducerProperty(t *testing.T) {
+	// Whatever the insertion sequence, Lookup(v) returns a PC that was
+	// inserted with value v (or misses).
+	type ins struct {
+		V  uint32
+		PC uint32
+	}
+	f := func(seq []ins) bool {
+		w := NewPPW(16)
+		valid := map[uint32]map[uint32]bool{}
+		for _, s := range seq {
+			w.Insert(s.V, s.PC)
+			if s.V != 0 {
+				if valid[s.V] == nil {
+					valid[s.V] = map[uint32]bool{}
+				}
+				valid[s.V][s.PC] = true
+			}
+		}
+		for _, s := range seq {
+			if pc, ok := w.Lookup(s.V); ok && !valid[s.V][pc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package dbp
+
+import (
+	"repro/internal/cache"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// Config sizes the prefetch engine.  Defaults() matches Table 2.
+type Config struct {
+	PPWEntries      int
+	DPEntries       int
+	DPAssoc         int
+	PRQEntries      int
+	QueriesPerCycle int
+	// MaxChainDepth bounds how far a single chain of completed
+	// prefetches may extend past the triggering access.  Chains run
+	// through cache-resident nodes without issuing memory requests, so
+	// the cap is what keeps the greedy chaser from sweeping whole
+	// structures on every trigger; one jump interval is the natural
+	// setting.
+	MaxChainDepth int
+}
+
+// Defaults returns the paper's Table 2 DBP configuration.
+func Defaults() Config {
+	return Config{
+		PPWEntries:      64,
+		DPEntries:       256,
+		DPAssoc:         4,
+		PRQEntries:      8,
+		QueriesPerCycle: 2,
+		MaxChainDepth:   8,
+	}
+}
+
+// Origin labels why a prefetch request was generated (diagnostics).
+type Origin uint8
+
+// Request origins.
+const (
+	// OChase is a dependence-predictor chase step.
+	OChase Origin = iota
+	// OJump is a jump-pointer target (JPR launch or jump-word arrival).
+	OJump
+	numOrigins
+)
+
+// Stats counts engine activity.
+type Stats struct {
+	Trained        uint64
+	JumpTrained    uint64
+	ChaseQueries   uint64
+	Requested      uint64
+	PRQDrops       uint64
+	DedupDrops     uint64
+	IssuedPrefetch uint64
+	DroppedPresent uint64
+
+	IssuedByOrigin  [numOrigins]uint64
+	DroppedByOrigin [numOrigins]uint64
+	DedupByOrigin   [numOrigins]uint64
+}
+
+// Engine is the dependence-based prefetch engine.  It also serves as
+// the chained-prefetching half of the cooperative JPP implementation:
+// software jump-pointer prefetches flagged ir.FJumpChase feed the
+// chaser with the pointer they fetched, and a dedicated producer window
+// lets the dependence predictor learn jump-prefetch -> LDS-load edges
+// (paper §3.2).
+type Engine struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	img  *mem.Image
+	heap *heap.Allocator
+
+	ppw     *PPW
+	jumpPPW *PPW
+	dp      *DepPredictor
+
+	prq     []prqReq
+	pending []arrival
+
+	queryQuota int
+
+	s Stats
+}
+
+type prqReq struct {
+	addr   uint32
+	pc     uint32
+	depth  int
+	origin Origin
+	// conts are piggybacked continuations: requests for the same line
+	// whose (addr, pc) differ, so the chase can branch correctly once
+	// the line arrives without issuing duplicate memory requests.
+	conts []cont
+}
+
+type cont struct {
+	addr  uint32
+	pc    uint32
+	depth int
+}
+
+type arrival struct {
+	done  uint64
+	addr  uint32
+	pc    uint32
+	depth int
+	// jumpWord marks the completion of a cooperative jump-pointer
+	// prefetch: the fetched word is a node pointer to chase and to
+	// register as a potential producer.
+	jumpWord bool
+}
+
+// NewEngine builds a DBP engine over the given hierarchy and heap.
+func NewEngine(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) *Engine {
+	return &Engine{
+		cfg:     cfg,
+		hier:    hier,
+		img:     alloc.Image(),
+		heap:    alloc,
+		ppw:     NewPPW(cfg.PPWEntries),
+		jumpPPW: NewPPW(cfg.PPWEntries * 2),
+		dp:      NewDepPredictor(cfg.DPEntries, cfg.DPAssoc),
+	}
+}
+
+// DP exposes the dependence predictor (the hardware JPP engine inspects
+// it for recurrence detection).
+func (e *Engine) DP() *DepPredictor { return e.dp }
+
+// Heap returns the simulated allocator.
+func (e *Engine) Heap() *heap.Allocator { return e.heap }
+
+// Image returns the simulated memory image.
+func (e *Engine) Image() *mem.Image { return e.img }
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats { return e.s }
+
+// TrainLoad runs PPW training for a committed load and returns the
+// producer PC, if one was found.
+func (e *Engine) TrainLoad(d *ir.DynInst) (producer uint32, ok bool) {
+	if e.heap.Contains(d.BaseValue) {
+		if pc, hit := e.jumpPPW.Lookup(d.BaseValue); hit {
+			e.dp.Insert(pc, d.PC, d.Addr-d.BaseValue)
+			e.s.JumpTrained++
+		}
+		if pc, hit := e.ppw.Lookup(d.BaseValue); hit {
+			e.dp.Insert(pc, d.PC, d.Addr-d.BaseValue)
+			e.s.Trained++
+			producer, ok = pc, true
+		}
+	}
+	if e.heap.Contains(d.Value) {
+		e.ppw.Insert(d.Value, d.PC)
+	}
+	return producer, ok
+}
+
+// ChaseFrom queries the dependence predictor with (pc -> value) and
+// enqueues prefetches for every known consumer.
+func (e *Engine) ChaseFrom(pc, value uint32, depth int) {
+	if !e.heap.Contains(value) || depth > e.cfg.MaxChainDepth {
+		return
+	}
+	if e.queryQuota <= 0 {
+		return
+	}
+	e.queryQuota--
+	e.s.ChaseQueries++
+	for _, dep := range e.dp.Query(pc) {
+		e.EnqueuePrefetch(value+dep.Offset, dep.ConsumerPC, depth+1, OChase)
+	}
+}
+
+// EnqueuePrefetch routes a prefetch request.  A line already queued or
+// in flight is not requested twice: the new (addr, pc) piggybacks as a
+// continuation so the chase still branches correctly when the line
+// arrives.  Everything else passes through the PRQ and probes the cache
+// when a port is free.
+func (e *Engine) EnqueuePrefetch(addr, pc uint32, depth int, origin Origin) {
+	if depth > e.cfg.MaxChainDepth {
+		return
+	}
+	mask := ^uint32(e.hier.LineBytes() - 1)
+	line := addr & mask
+	for i := range e.prq {
+		r := &e.prq[i]
+		if r.addr&mask != line {
+			continue
+		}
+		e.s.DedupDrops++
+		e.s.DedupByOrigin[origin]++
+		if (r.pc != pc || r.addr != addr) && len(r.conts) < 3 {
+			r.conts = append(r.conts, cont{addr: addr, pc: pc, depth: depth})
+		}
+		return
+	}
+	for i := range e.pending {
+		a := &e.pending[i]
+		if a.jumpWord || a.addr&mask != line {
+			continue
+		}
+		e.s.DedupDrops++
+		e.s.DedupByOrigin[origin]++
+		if a.pc != pc || a.addr != addr {
+			e.pending = append(e.pending, arrival{
+				done: a.done, addr: addr, pc: pc, depth: depth,
+			})
+		}
+		return
+	}
+	if len(e.prq) >= e.cfg.PRQEntries {
+		e.s.PRQDrops++
+		return
+	}
+	e.prq = append(e.prq, prqReq{addr: addr, pc: pc, depth: depth, origin: origin})
+	e.s.Requested++
+}
+
+// --- cpu.PrefetchEngine implementation -------------------------------
+
+// OnLoadIssue is a no-op for plain DBP (the hardware JPP engine
+// overrides it to access the JPR).
+func (e *Engine) OnLoadIssue(now uint64, d *ir.DynInst) {}
+
+// OnLoadComplete chases consumers of a completed demand load.
+func (e *Engine) OnLoadComplete(now uint64, d *ir.DynInst) {
+	if d.Flags&ir.FLDS != 0 {
+		e.ChaseFrom(d.PC, d.Value, 0)
+	}
+}
+
+// OnCommit trains the predictor in program order.
+func (e *Engine) OnCommit(now uint64, d *ir.DynInst) {
+	if d.Class == ir.Load {
+		e.TrainLoad(d)
+	}
+}
+
+// OnSWPrefetch observes a software prefetch that the core issued to the
+// hierarchy (completing at done).  Jump-chase prefetches additionally
+// deliver the jump-pointer word to the chaser when they arrive.
+func (e *Engine) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {
+	if d.Flags&ir.FJumpChase == 0 {
+		return
+	}
+	e.pending = append(e.pending, arrival{
+		done: done, addr: d.Addr, pc: d.PC, depth: 0, jumpWord: true,
+	})
+}
+
+// Tick advances the engine one cycle: completed prefetches chase
+// further, and queued requests issue into idle cache ports.  It returns
+// the number of ports consumed.
+func (e *Engine) Tick(now uint64, freePorts int) int {
+	e.queryQuota = e.cfg.QueriesPerCycle
+
+	// Process arrivals whose data is available.  Chasing can append new
+	// arrivals to e.pending (continuations of resident lines); indexing
+	// by position keeps the in-place compaction safe while the slice
+	// grows, and freshly appended entries (done = now+1) are kept for
+	// the next cycle.
+	n := 0
+	for i := 0; i < len(e.pending); i++ {
+		a := e.pending[i]
+		if a.done > now || e.queryQuota <= 0 {
+			e.pending[n] = a
+			n++
+			continue
+		}
+		value := e.img.ReadWord(a.addr)
+		if a.jumpWord {
+			// The fetched word is a pointer to a future node: remember
+			// it as a potential producer so the predictor learns
+			// jump-prefetch -> LDS-load edges, and chase it now.
+			e.jumpPPW.Insert(value, a.pc)
+			// The target node block itself is what jump-pointer
+			// prefetching exists to fetch; request it even before any
+			// edges are learned.
+			if e.heap.Contains(value) {
+				e.EnqueuePrefetch(value, a.pc, a.depth+1, OJump)
+			}
+		}
+		e.ChaseFrom(a.pc, value, a.depth)
+	}
+	e.pending = e.pending[:n]
+
+	used := 0
+	for used < freePorts && len(e.prq) > 0 {
+		r := e.prq[0]
+		copy(e.prq, e.prq[1:])
+		e.prq = e.prq[:len(e.prq)-1]
+		res := e.hier.AccessData(now, r.addr, cache.KPref)
+		used++
+		if res.Dropped {
+			// The line is already resident: the request is discarded
+			// with no completion event, so the chain ends here — real
+			// DBP gets no response packet to feed the predictor with.
+			e.s.DroppedPresent++
+			e.s.DroppedByOrigin[r.origin]++
+			continue
+		}
+		e.s.IssuedPrefetch++
+		e.s.IssuedByOrigin[r.origin]++
+		e.pending = append(e.pending, arrival{
+			done: res.Done, addr: r.addr, pc: r.pc, depth: r.depth,
+		})
+		for _, c := range r.conts {
+			e.pending = append(e.pending, arrival{
+				done: res.Done, addr: c.addr, pc: c.pc, depth: c.depth,
+			})
+		}
+	}
+	return used
+}

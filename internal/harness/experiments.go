@@ -1,0 +1,470 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbp"
+	"repro/internal/olden"
+)
+
+// ExpConfig parameterizes experiment reproduction.
+type ExpConfig struct {
+	// Size selects workload scaling (default olden.SizeFull).
+	Size olden.Size
+	// Benches restricts the benchmark set (nil = all).
+	Benches []string
+}
+
+func (c ExpConfig) benches() []*olden.Benchmark {
+	if len(c.Benches) == 0 {
+		return olden.Suite()
+	}
+	var out []*olden.Benchmark
+	for _, n := range c.Benches {
+		if b, ok := olden.ByName(n); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+func (r Report) String() string { return r.Text }
+
+// ExpFunc runs one experiment.
+type ExpFunc func(ExpConfig) (Report, error)
+
+// Experiments returns the registry of reproducible paper artifacts, in
+// paper order.
+func Experiments() []struct {
+	ID  string
+	Fn  ExpFunc
+	Doc string
+} {
+	return []struct {
+		ID  string
+		Fn  ExpFunc
+		Doc string
+	}{
+		{"table1", Table1, "benchmark characterization"},
+		{"table2", Table2, "simulated machine configuration"},
+		{"fig4", Fig4, "comparing JPP idioms (software & cooperative)"},
+		{"fig5", Fig5, "comparing prefetching implementations"},
+		{"fig6", Fig6, "bandwidth requirements (L1<->L2 bytes per instruction)"},
+		{"fig7", Fig7, "tolerating longer memory latencies (health)"},
+		{"costs", Costs, "direct and implicit costs of JPP"},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (ExpFunc, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Fn, true
+		}
+	}
+	return nil, false
+}
+
+// --- Table 1: benchmark characterization -----------------------------
+
+// Table1 reproduces the paper's benchmark characterization: the share
+// of execution time spent stalled on memory, how much of it is due to
+// LDS loads, the available miss parallelism, and the structure/idiom
+// summary.
+func Table1(cfg ExpConfig) (Report, error) {
+	var rows [][]string
+	for _, b := range cfg.benches() {
+		d, err := Decompose(Spec{
+			Bench:  b.Name,
+			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		r := d.Full
+		memShare := float64(d.Memory()) / float64(d.Total)
+		ldsShare := 0.0
+		if m := r.CPU.LDSLoadMiss + r.CPU.OtherMiss; m > 0 {
+			ldsShare = float64(r.CPU.LDSLoadMiss) / float64(m)
+		}
+		idioms := make([]string, len(b.Idioms))
+		for i, id := range b.Idioms {
+			idioms[i] = id.String()
+		}
+		rows = append(rows, []string{
+			b.Name,
+			fmt.Sprintf("%.0f%%", 100*memShare),
+			fmt.Sprintf("%.0f%%", 100*ldsShare),
+			fmt.Sprintf("%.2f", r.CPU.AvgMissOverlap()),
+			fmt.Sprintf("%d", b.Traversals),
+			b.Structures,
+			strings.Join(idioms, ","),
+		})
+	}
+	text := renderTable("Table 1: benchmark characterization",
+		[]string{"bench", "mem-stall", "LDS-miss", "miss-par", "passes", "structures", "idioms"},
+		rows)
+	return Report{ID: "table1", Title: "Benchmark characterization", Text: text}, nil
+}
+
+// --- Table 2: machine configuration ----------------------------------
+
+// Table2 prints the simulated machine configuration actually used,
+// mirroring the paper's Table 2.
+func Table2(ExpConfig) (Report, error) {
+	m := cache.Defaults()
+	c := cpu.Defaults()
+	d := dbp.Defaults()
+	h := core.DefaultHWConfig()
+	b := bpred.Defaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: simulated machine configuration\n")
+	fmt.Fprintf(&sb, "----------------------------------------\n")
+	fmt.Fprintf(&sb, "core:   %d-wide fetch/issue/commit, %d-entry window, %d-entry LSQ, %d cache ports\n",
+		c.FetchWidth, c.WindowSize, c.LSQSize, c.MemPorts)
+	fmt.Fprintf(&sb, "bpred:  %d-entry combined gshare(%d-bit)/bimodal, %d-entry %d-way BTB\n",
+		b.Entries, b.HistoryBits, b.BTBEntries, b.BTBAssoc)
+	fmt.Fprintf(&sb, "L1I:    %dKB %dB lines %d-way, %d cycle\n",
+		m.L1I.SizeBytes>>10, m.L1I.LineBytes, m.L1I.Assoc, m.L1I.LatCycles)
+	fmt.Fprintf(&sb, "L1D:    %dKB %dB lines %d-way, %d cycle, %d MSHRs\n",
+		m.L1D.SizeBytes>>10, m.L1D.LineBytes, m.L1D.Assoc, m.L1D.LatCycles, m.MSHRs)
+	fmt.Fprintf(&sb, "L2:     %dKB %dB lines %d-way, %d cycle (shared)\n",
+		m.L2.SizeBytes>>10, m.L2.LineBytes, m.L2.Assoc, m.L2.LatCycles)
+	fmt.Fprintf(&sb, "memory: %d cycles; %dB buses at 1/%d and 1/%d core clock\n",
+		m.MemLatency, m.ChunkBytes, m.L1L2ChunkCycles, m.MemChunkCycles)
+	fmt.Fprintf(&sb, "TLBs:   %d-entry ITLB, %d-entry DTLB, %d-cycle miss, %dB pages\n",
+		m.ITLBEntries, m.DTLBEntries, m.TLBMissCycles, m.PageBytes)
+	fmt.Fprintf(&sb, "DBP:    %d-entry %d-way dependence predictor, %d queries/cycle,\n"+
+		"        %d-entry PRQ, %dKB %d-way prefetch buffer\n",
+		d.DPEntries, d.DPAssoc, d.QueriesPerCycle, d.PRQEntries,
+		m.PB.SizeBytes>>10, m.PB.Assoc)
+	fmt.Fprintf(&sb, "JPP:    %d-entry fully-associative JQT, interval %d, 1 JPR access/cycle\n",
+		h.JQTEntries, h.Interval)
+	return Report{ID: "table2", Title: "Machine configuration", Text: sb.String()}, nil
+}
+
+// --- Figure 4: comparing idioms --------------------------------------
+
+// fig4Matrix lists which idioms Figure 4 evaluates per benchmark.
+var fig4Matrix = []struct {
+	Bench  string
+	Idioms []core.Idiom
+}{
+	{"em3d", []core.Idiom{core.IdiomQueue, core.IdiomFull}},
+	{"health", []core.Idiom{core.IdiomChain, core.IdiomRoot, core.IdiomQueue, core.IdiomFull}},
+	{"mst", []core.Idiom{core.IdiomRoot, core.IdiomQueue}},
+	{"treeadd", []core.Idiom{core.IdiomQueue}},
+}
+
+// Fig4 reproduces the idiom comparison: for each benchmark with more
+// than one applicable idiom, software and cooperative execution times
+// per idiom, normalized to the unoptimized run.
+func Fig4(cfg ExpConfig) (Report, error) {
+	var groups []BarGroup
+	for _, ent := range fig4Matrix {
+		if len(cfg.Benches) > 0 && !containsStr(cfg.Benches, ent.Bench) {
+			continue
+		}
+		base, err := Decompose(Spec{
+			Bench:  ent.Bench,
+			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		g := BarGroup{Label: ent.Bench,
+			Bars: []Bar{barFromDecomp("none", base, base.Total)}}
+		for _, idiom := range ent.Idioms {
+			for _, scheme := range []core.Scheme{core.SchemeSoftware, core.SchemeCooperative} {
+				d, err := Decompose(Spec{
+					Bench: ent.Bench,
+					Params: olden.Params{
+						Scheme: scheme, Idiom: idiom, Size: cfg.Size,
+					},
+				})
+				if err != nil {
+					return Report{}, err
+				}
+				label := scheme.String() + "/" + idiom.String()
+				g.Bars = append(g.Bars, barFromDecomp(label, d, base.Total))
+			}
+		}
+		groups = append(groups, g)
+	}
+	text := renderBars("Figure 4: comparing JPP idioms (normalized execution time)", groups)
+	return Report{ID: "fig4", Title: "Comparing idioms", Text: text}, nil
+}
+
+// --- Figure 5: comparing implementations ------------------------------
+
+// Fig5 reproduces the implementation comparison: every benchmark under
+// none/DBP/software/cooperative/hardware, normalized execution time
+// decomposed into compute and memory stall.
+func Fig5(cfg ExpConfig) (Report, error) {
+	groups, _, err := fig5Data(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	text := renderBars("Figure 5: comparing prefetching implementations (normalized execution time)", groups)
+	text += fig5Summary(groups)
+	return Report{ID: "fig5", Title: "Comparing implementations", Text: text}, nil
+}
+
+func fig5Data(cfg ExpConfig) ([]BarGroup, map[string]map[string]Result, error) {
+	results := map[string]map[string]Result{}
+	var groups []BarGroup
+	for _, b := range cfg.benches() {
+		var g BarGroup
+		g.Label = b.Name
+		results[b.Name] = map[string]Result{}
+		var baseline uint64
+		for _, scheme := range core.Schemes() {
+			d, err := Decompose(Spec{
+				Bench:  b.Name,
+				Params: olden.Params{Scheme: scheme, Size: cfg.Size},
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if scheme == core.SchemeNone {
+				baseline = d.Total
+			}
+			results[b.Name][scheme.String()] = d.Full
+			g.Bars = append(g.Bars, barFromDecomp(scheme.String(), d, baseline))
+		}
+		groups = append(groups, g)
+	}
+	return groups, results, nil
+}
+
+// fig5Summary computes the paper's headline averages over the
+// benchmarks with appreciable memory components (the paper disregards
+// bh, bisort, power, tsp and voronoi).
+func fig5Summary(groups []BarGroup) string {
+	excluded := map[string]bool{
+		"bh": true, "bisort": true, "power": true, "tsp": true, "voronoi": true,
+	}
+	type agg struct {
+		speedup float64
+		memCut  float64
+		n       int
+	}
+	sums := map[string]*agg{}
+	for _, g := range groups {
+		if excluded[g.Label] || len(g.Bars) == 0 {
+			continue
+		}
+		base := g.Bars[0]
+		for _, b := range g.Bars[1:] {
+			a := sums[b.Label]
+			if a == nil {
+				a = &agg{}
+				sums[b.Label] = a
+			}
+			a.speedup += 1/b.Norm - 1
+			if base.Memory > 0 {
+				a.memCut += 1 - float64(b.Memory)/float64(base.Memory)
+			}
+			a.n++
+		}
+	}
+	var keys []string
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("\naverages over memory-bound benchmarks (excl. bh, bisort, power, tsp, voronoi):\n")
+	for _, k := range keys {
+		a := sums[k]
+		fmt.Fprintf(&sb, "  %-5s speedup %+5.0f%%   memory stall cut %5.0f%%\n",
+			k, 100*a.speedup/float64(a.n), 100*a.memCut/float64(a.n))
+	}
+	return sb.String()
+}
+
+// --- Figure 6: bandwidth requirements ---------------------------------
+
+// Fig6 reproduces the bandwidth comparison: bytes moved between the L1
+// and L2 data caches per original-program dynamic instruction
+// (instructions added by the prefetching transformations are not
+// counted, as in the paper).
+func Fig6(cfg ExpConfig) (Report, error) {
+	header := []string{"bench"}
+	for _, s := range core.Schemes() {
+		header = append(header, s.String())
+	}
+	var rows [][]string
+	ratios := map[string][]float64{}
+	for _, b := range cfg.benches() {
+		row := []string{b.Name}
+		var base float64
+		for _, scheme := range core.Schemes() {
+			r, err := Run(Spec{
+				Bench:  b.Name,
+				Params: olden.Params{Scheme: scheme, Size: cfg.Size},
+			})
+			if err != nil {
+				return Report{}, err
+			}
+			bpi := float64(r.Cache.L1L2Bytes) / float64(r.Insts.OrigInsts)
+			if scheme == core.SchemeNone {
+				base = bpi
+			}
+			if base > 0 {
+				ratios[scheme.String()] = append(ratios[scheme.String()], bpi/base)
+			}
+			row = append(row, fmt.Sprintf("%.2f", bpi))
+		}
+		rows = append(rows, row)
+	}
+	text := renderTable("Figure 6: L1<->L2 bytes moved per original dynamic instruction",
+		header, rows)
+	text += "\naverage traffic increase over unoptimized:\n"
+	for _, s := range core.Schemes()[1:] {
+		rs := ratios[s.String()]
+		sum := 0.0
+		for _, v := range rs {
+			sum += v
+		}
+		if len(rs) > 0 {
+			text += fmt.Sprintf("  %-5s %+.0f%%\n", s.String(), 100*(sum/float64(len(rs))-1))
+		}
+	}
+	return Report{ID: "fig6", Title: "Bandwidth requirements", Text: text}, nil
+}
+
+// --- Figure 7: tolerating longer latencies ----------------------------
+
+// Fig7 reproduces the latency-scaling study on health: memory latencies
+// of 70 and 280 cycles, jump-pointer intervals of 8 and 16.  Bars are
+// normalized to the unoptimized run at the same latency.
+func Fig7(cfg ExpConfig) (Report, error) {
+	var groups []BarGroup
+	for _, lat := range []int{70, 280} {
+		memP := cache.Defaults()
+		memP.MemLatency = lat
+		g := BarGroup{Label: fmt.Sprintf("lat=%d", lat)}
+		base, err := Decompose(Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+			Mem:    &memP,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		g.Bars = append(g.Bars, barFromDecomp("none", base, base.Total))
+		d, err := Decompose(Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: core.SchemeDBP, Size: cfg.Size},
+			Mem:    &memP,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		g.Bars = append(g.Bars, barFromDecomp("dbp", d, base.Total))
+		for _, scheme := range []core.Scheme{core.SchemeSoftware, core.SchemeCooperative, core.SchemeHardware} {
+			for _, interval := range []int{8, 16} {
+				d, err := Decompose(Spec{
+					Bench: "health",
+					Params: olden.Params{
+						Scheme: scheme, Size: cfg.Size, Interval: interval,
+					},
+					Mem: &memP,
+				})
+				if err != nil {
+					return Report{}, err
+				}
+				label := fmt.Sprintf("%s/i%d", scheme, interval)
+				g.Bars = append(g.Bars, barFromDecomp(label, d, base.Total))
+			}
+		}
+		groups = append(groups, g)
+	}
+	text := renderBars("Figure 7: health under longer memory latencies (normalized per latency)", groups)
+	return Report{ID: "fig7", Title: "Tolerating longer latencies", Text: text}, nil
+}
+
+// --- Costs table -------------------------------------------------------
+
+// Costs quantifies the direct and implicit costs of the software and
+// cooperative implementations (paper §4.2-4.3): overhead instruction
+// share, the a-priori slowdown of jump-pointer creation alone, and the
+// data-footprint change in distinct cache blocks.
+func Costs(cfg ExpConfig) (Report, error) {
+	benches := []string{"health", "em3d", "treeadd", "mst"}
+	if len(cfg.Benches) > 0 {
+		benches = cfg.Benches
+	}
+	var rows [][]string
+	for _, name := range benches {
+		base, err := Run(Spec{
+			Bench:  name,
+			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		sw, err := Run(Spec{
+			Bench:  name,
+			Params: olden.Params{Scheme: core.SchemeSoftware, Size: cfg.Size},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		creation, err := Run(Spec{
+			Bench: name,
+			Params: olden.Params{
+				Scheme: core.SchemeSoftware, Size: cfg.Size, CreationOnly: true,
+			},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		coop, err := Run(Spec{
+			Bench:  name,
+			Params: olden.Params{Scheme: core.SchemeCooperative, Size: cfg.Size},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		instOv := func(r Result) string {
+			return fmt.Sprintf("%.0f%%", 100*float64(r.Insts.OvhdInsts)/float64(r.Insts.OrigInsts))
+		}
+		apriori := float64(creation.CPU.Cycles)/float64(base.CPU.Cycles) - 1
+		blocks := float64(sw.Cache.DistinctL1Lines)/float64(base.Cache.DistinctL1Lines) - 1
+		rows = append(rows, []string{
+			name,
+			instOv(sw),
+			instOv(coop),
+			fmt.Sprintf("%+.0f%%", 100*apriori),
+			fmt.Sprintf("%+.0f%%", 100*blocks),
+		})
+	}
+	text := renderTable("JPP costs: instruction overhead, creation-only slowdown, footprint",
+		[]string{"bench", "sw-inst-ovh", "coop-inst-ovh", "a-priori-creation", "distinct-blocks"},
+		rows)
+	return Report{ID: "costs", Title: "JPP costs", Text: text}, nil
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

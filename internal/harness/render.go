@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one stacked execution-time bar, the unit of the paper's
+// figures: total cycles split into compute and memory-stall portions,
+// normalized against a baseline.
+type Bar struct {
+	Label   string
+	Compute uint64
+	Memory  uint64
+	// Norm is Total/baseline (1.0 = unoptimized).
+	Norm float64
+}
+
+// Total returns the bar's total cycles.
+func (b Bar) Total() uint64 { return b.Compute + b.Memory }
+
+// MemShare returns the memory-stall fraction.
+func (b Bar) MemShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Memory) / float64(t)
+}
+
+// BarGroup is a labelled cluster of bars (one benchmark's schemes or
+// idioms).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// barFromDecomp builds a normalized bar from a decomposition.
+func barFromDecomp(label string, d Decomposition, baseline uint64) Bar {
+	return Bar{
+		Label:   label,
+		Compute: d.Compute,
+		Memory:  d.Memory(),
+		Norm:    float64(d.Total) / float64(baseline),
+	}
+}
+
+// renderBars draws bar groups as a text chart: '#' is compute, '='
+// memory stall, scaled so the baseline (1.0) spans barWidth cells.
+func renderBars(title string, groups []BarGroup) string {
+	const barWidth = 40
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	for _, g := range groups {
+		for i, b := range g.Bars {
+			name := ""
+			if i == 0 {
+				name = g.Label
+			}
+			total := b.Norm
+			comp := 0.0
+			if b.Total() > 0 {
+				comp = total * float64(b.Compute) / float64(b.Total())
+			}
+			cCells := int(comp*barWidth + 0.5)
+			tCells := int(total*barWidth + 0.5)
+			if tCells > 2*barWidth {
+				tCells = 2 * barWidth
+			}
+			if cCells > tCells {
+				cCells = tCells
+			}
+			bar := strings.Repeat("#", cCells) + strings.Repeat("=", tCells-cCells)
+			fmt.Fprintf(&sb, "%-10s %-6s |%-*s| %4.2f (mem %2.0f%%)\n",
+				name, b.Label, barWidth, bar, b.Norm, 100*b.MemShare())
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("legend: # compute time, = memory stall time; 1.00 = unoptimized\n")
+	return sb.String()
+}
+
+// renderTable draws rows with aligned columns.
+func renderTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+// Package harness assembles full simulations and reproduces every table
+// and figure of the paper's evaluation (see DESIGN.md's per-experiment
+// index).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbp"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/olden"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Bench  string
+	Params olden.Params
+
+	// Mem, CPU, DBP, HW override the Table 2 defaults when non-nil.
+	Mem *cache.Params
+	CPU *cpu.Config
+	DBP *dbp.Config
+	HW  *core.HWConfig
+}
+
+// Result collects every statistic a run produces.
+type Result struct {
+	Spec  Spec
+	CPU   cpu.Stats
+	Cache cache.Stats
+	Insts ir.Stats
+	Bpred bpred.Stats
+
+	// Engine stats are present when the scheme uses hardware.
+	Engine *dbp.Stats
+	HW     *core.HWStats
+
+	// Hier exposes the hierarchy for tests and diagnostics.
+	Hier *cache.Hierarchy
+}
+
+// Cycles returns the run's execution time in cycles.
+func (r Result) Cycles() uint64 { return r.CPU.Cycles }
+
+// Run executes one simulation to completion.
+func Run(spec Spec) (Result, error) {
+	bench, ok := olden.ByName(spec.Bench)
+	if !ok {
+		return Result{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+	}
+
+	memP := cache.Defaults()
+	if spec.Mem != nil {
+		memP = *spec.Mem
+	}
+	cpuC := cpu.Defaults()
+	if spec.CPU != nil {
+		cpuC = *spec.CPU
+	}
+	dbpC := dbp.Defaults()
+	if spec.DBP != nil {
+		dbpC = *spec.DBP
+	}
+	hwC := core.DefaultHWConfig()
+	if spec.HW != nil {
+		hwC = *spec.HW
+	}
+	if spec.Params.Interval > 0 {
+		hwC.Interval = spec.Params.Interval
+	}
+
+	scheme := spec.Params.Scheme
+	memP.EnablePB = scheme.UsesHardware() && !memP.PerfectData
+
+	img := mem.NewImage()
+	alloc := heap.New(img)
+	hier := cache.New(memP)
+	pred := bpred.New(bpred.Defaults())
+
+	var eng cpu.PrefetchEngine
+	var dbpEng *dbp.Engine
+	var hwEng *core.HWEngine
+	if scheme.UsesHardware() && !memP.PerfectData {
+		switch scheme {
+		case core.SchemeHardware:
+			hwEng = core.NewHWEngine(dbpC, hwC, hier, alloc)
+			eng = hwEng
+		default: // DBP, cooperative
+			dbpEng = dbp.NewEngine(dbpC, hier, alloc)
+			eng = dbpEng
+		}
+	}
+
+	gen := ir.NewGen(alloc, bench.Kernel(spec.Params))
+	c := cpu.New(cpuC, hier, pred, eng)
+	stats := c.Run(gen)
+
+	res := Result{
+		Spec:  spec,
+		CPU:   stats,
+		Cache: hier.Stats(),
+		Insts: gen.Stats(),
+		Bpred: pred.Stats(),
+		Hier:  hier,
+	}
+	if dbpEng != nil {
+		s := dbpEng.Stats()
+		res.Engine = &s
+	}
+	if hwEng != nil {
+		s := hwEng.Stats()
+		res.Engine = &s
+		h := hwEng.HWStats()
+		res.HW = &h
+	}
+	return res, nil
+}
+
+// Decomposition splits a configuration's execution time into compute
+// time and memory stall time, following the paper's method: the compute
+// portion is a second simulation with uniform single-cycle data memory
+// (but realistic port bandwidth); the remainder is memory stall.
+type Decomposition struct {
+	Total   uint64
+	Compute uint64
+	// Full is the realistic run's full result.
+	Full Result
+}
+
+// Memory returns the memory-stall cycles.
+func (d Decomposition) Memory() uint64 {
+	if d.Total < d.Compute {
+		return 0
+	}
+	return d.Total - d.Compute
+}
+
+// Decompose runs spec twice (realistic + perfect data memory).
+func Decompose(spec Spec) (Decomposition, error) {
+	full, err := Run(spec)
+	if err != nil {
+		return Decomposition{}, err
+	}
+	memP := cache.Defaults()
+	if spec.Mem != nil {
+		memP = *spec.Mem
+	}
+	memP.PerfectData = true
+	spec2 := spec
+	spec2.Mem = &memP
+	perfect, err := Run(spec2)
+	if err != nil {
+		return Decomposition{}, err
+	}
+	return Decomposition{
+		Total:   full.CPU.Cycles,
+		Compute: perfect.CPU.Cycles,
+		Full:    full,
+	}, nil
+}
+
+// defaultsWithLatency returns the Table 2 memory system with a
+// different main-memory latency (the Figure 7 sweeps).
+func defaultsWithLatency(lat int) cache.Params {
+	m := cache.Defaults()
+	m.MemLatency = lat
+	return m
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/olden"
+)
+
+// TestPaperShapes pins the paper's qualitative results at full input
+// size: who wins, roughly by how much, and where the crossovers fall.
+// This is the repository's primary scientific regression test; it takes
+// tens of seconds, so it is skipped under -short.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size shape validation")
+	}
+
+	norm := map[string]map[core.Scheme]float64{}
+	memShare := map[string]float64{}
+	for _, bench := range []string{"health", "treeadd", "perimeter", "em3d", "power", "bisort", "mst"} {
+		norm[bench] = map[core.Scheme]float64{}
+		var base uint64
+		for _, scheme := range core.Schemes() {
+			d, err := Decompose(Spec{
+				Bench:  bench,
+				Params: olden.Params{Scheme: scheme, Size: olden.SizeFull},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scheme == core.SchemeNone {
+				base = d.Total
+				memShare[bench] = float64(d.Memory()) / float64(d.Total)
+			}
+			norm[bench][scheme] = float64(d.Total) / float64(base)
+		}
+		t.Logf("%-10s mem=%4.2f none=1.00 dbp=%4.2f sw=%4.2f coop=%4.2f hw=%4.2f",
+			bench, memShare[bench],
+			norm[bench][core.SchemeDBP], norm[bench][core.SchemeSoftware],
+			norm[bench][core.SchemeCooperative], norm[bench][core.SchemeHardware])
+	}
+
+	// health (paper's flagship): every JPP implementation produces a
+	// sizable speedup; cooperative beats software by eliminating the
+	// chained-prefetch serialization; DBP helps far less than JPP.
+	h := norm["health"]
+	if h[core.SchemeSoftware] > 0.85 {
+		t.Errorf("health software JPP too weak: %.2f", h[core.SchemeSoftware])
+	}
+	if h[core.SchemeCooperative] >= h[core.SchemeSoftware] {
+		t.Errorf("health: cooperative (%.2f) must beat software (%.2f)",
+			h[core.SchemeCooperative], h[core.SchemeSoftware])
+	}
+	if h[core.SchemeDBP] <= h[core.SchemeCooperative] {
+		t.Errorf("health: DBP (%.2f) must trail cooperative JPP (%.2f)",
+			h[core.SchemeDBP], h[core.SchemeCooperative])
+	}
+	if memShare["health"] < 0.6 {
+		t.Errorf("health memory-stall share %.2f, want the memory-bound regime", memShare["health"])
+	}
+
+	// treeadd: queue jumping pays; the hardware implementation forfeits
+	// part of the savings to its uninstrumented first pass (4.2).
+	ta := norm["treeadd"]
+	if ta[core.SchemeCooperative] > 0.9 {
+		t.Errorf("treeadd cooperative too weak: %.2f", ta[core.SchemeCooperative])
+	}
+	if ta[core.SchemeHardware] <= ta[core.SchemeCooperative] {
+		t.Errorf("treeadd: hardware (%.2f) must trail cooperative (%.2f) on a few-pass program",
+			ta[core.SchemeHardware], ta[core.SchemeCooperative])
+	}
+
+	// perimeter: a single-traversal program — software installs
+	// jump-pointers during the build and wins big; hardware JPP spends
+	// the only traversal learning and gains far less.
+	pe := norm["perimeter"]
+	if pe[core.SchemeSoftware] > 0.8 {
+		t.Errorf("perimeter software too weak: %.2f", pe[core.SchemeSoftware])
+	}
+	if pe[core.SchemeHardware] <= pe[core.SchemeSoftware] {
+		t.Errorf("perimeter: hardware (%.2f) must trail software (%.2f) on a one-pass program",
+			pe[core.SchemeHardware], pe[core.SchemeSoftware])
+	}
+
+	// em3d: backbone-and-ribs with many traversals; cooperative and
+	// hardware chain the rib arrays and beat software queue jumping.
+	em := norm["em3d"]
+	if em[core.SchemeCooperative] >= em[core.SchemeSoftware] ||
+		em[core.SchemeHardware] >= em[core.SchemeSoftware] {
+		t.Errorf("em3d: coop (%.2f) and hw (%.2f) must beat software (%.2f)",
+			em[core.SchemeCooperative], em[core.SchemeHardware], em[core.SchemeSoftware])
+	}
+
+	// power: compute bound — software JPP must not help, and its
+	// overhead must show as a (small) slowdown.
+	pw := norm["power"]
+	if pw[core.SchemeSoftware] < 1.0 {
+		t.Errorf("power: software JPP sped up a compute-bound program (%.2f)", pw[core.SchemeSoftware])
+	}
+	if memShare["power"] > 0.15 {
+		t.Errorf("power memory share %.2f, want compute-bound", memShare["power"])
+	}
+
+	// bisort: extremely volatile — explicit jump-pointer prefetching is
+	// adverse; the hardware scheme degrades far less.
+	bi := norm["bisort"]
+	if bi[core.SchemeSoftware] < 1.1 {
+		t.Errorf("bisort: software JPP not adverse (%.2f)", bi[core.SchemeSoftware])
+	}
+	if bi[core.SchemeHardware] >= bi[core.SchemeSoftware] {
+		t.Errorf("bisort: hardware (%.2f) must degrade less than software (%.2f)",
+			bi[core.SchemeHardware], bi[core.SchemeSoftware])
+	}
+
+	// mst: single effective pass — hardware JPP is the worst scheme.
+	ms := norm["mst"]
+	for _, s := range []core.Scheme{core.SchemeDBP, core.SchemeSoftware, core.SchemeCooperative} {
+		if ms[core.SchemeHardware] <= ms[s] {
+			t.Errorf("mst: hardware (%.2f) must be the least effective (vs %v %.2f)",
+				ms[core.SchemeHardware], s, ms[s])
+		}
+	}
+}
+
+// TestLatencyScalingShape pins Figure 7's claim: as memory latency
+// grows 4x, jump-pointer prefetching keeps (or grows) its relative
+// benefit while serial dependence-based prefetching fades.
+func TestLatencyScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size latency scaling")
+	}
+	rel := func(lat int, scheme core.Scheme) float64 {
+		spec := Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: scheme, Size: olden.SizeFull},
+		}
+		if lat != 70 {
+			m := defaultsWithLatency(lat)
+			spec.Mem = &m
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeFull},
+		}
+		if lat != 70 {
+			m := defaultsWithLatency(lat)
+			base.Mem = &m
+		}
+		b, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(b.CPU.Cycles) / float64(res.CPU.Cycles) // speedup
+	}
+	coop70, coop280 := rel(70, core.SchemeCooperative), rel(280, core.SchemeCooperative)
+	dbp70, dbp280 := rel(70, core.SchemeDBP), rel(280, core.SchemeDBP)
+	t.Logf("coop speedup %.2f -> %.2f; dbp speedup %.2f -> %.2f (70 -> 280 cycles)",
+		coop70, coop280, dbp70, dbp280)
+	if coop280 < coop70*0.9 {
+		t.Errorf("cooperative JPP benefit collapsed at high latency: %.2f -> %.2f", coop70, coop280)
+	}
+	// DBP's *relative advantage over JPP* must shrink: the gap between
+	// coop and dbp widens with latency.
+	if coop280-dbp280 <= coop70-dbp70 {
+		t.Errorf("JPP's edge over DBP did not grow with latency: %.2f vs %.2f",
+			coop280-dbp280, coop70-dbp70)
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/olden"
+)
+
+func TestSmokeHealthAllSchemes(t *testing.T) {
+	var base uint64
+	for _, scheme := range core.Schemes() {
+		res, err := Run(Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: scheme, Size: olden.SizeTest},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.CPU.Cycles == 0 || res.CPU.Insts == 0 {
+			t.Fatalf("%v: empty run: %+v", scheme, res.CPU)
+		}
+		if res.CPU.Truncated {
+			t.Fatalf("%v: truncated", scheme)
+		}
+		t.Logf("%-5v cycles=%-8d insts=%-8d ipc=%.2f l1dmiss=%d",
+			scheme, res.CPU.Cycles, res.CPU.Insts, res.CPU.IPC(), res.Cache.L1DMisses)
+		if scheme == core.SchemeNone {
+			base = res.CPU.Cycles
+		}
+	}
+	_ = base
+}
+
+func TestSmokeDecompose(t *testing.T) {
+	d, err := Decompose(Spec{
+		Bench:  "treeadd",
+		Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compute == 0 || d.Compute > d.Total {
+		t.Fatalf("bad decomposition: compute=%d total=%d", d.Compute, d.Total)
+	}
+	t.Logf("treeadd total=%d compute=%d memory=%d", d.Total, d.Compute, d.Memory())
+}

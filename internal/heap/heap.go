@@ -1,0 +1,232 @@
+// Package heap implements the simulated program heap.
+//
+// The allocator reproduces the behaviour the paper depends on for
+// jump-pointer storage: small objects are allocated in size classes that
+// are strictly powers of two (GNU-C-library style), so any object whose
+// payload is not an exact power of two carries padding at the end of its
+// block.  Both the software prefetching idioms and the hardware JPP
+// mechanism store jump-pointers in that padding, adding no distinct cache
+// blocks to the program's footprint (paper §3.1, §3.3).
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Base is the first heap address.  It is nonzero so that address 0 can
+// serve as the null pointer, and high enough to keep the (unmodelled)
+// static data area distinct.
+const Base mem.Addr = 0x1000_0000
+
+// MinClass is the smallest allocation size class in bytes.  Two words:
+// one payload word plus room for at least one jump-pointer in blocks
+// whose payload is a single word.
+const MinClass = 8
+
+// ArenaID names an allocation arena.  Arena 0 is the default heap; the
+// Olden benchmarks allocate per locality domain (the suite was written
+// for distributed memory machines), which workloads reproduce by
+// creating one arena per domain.  Arenas keep a structure's blocks
+// page-dense even as churn scrambles their order.
+type ArenaID int
+
+// arenaChunk is how much address space an arena claims from the global
+// region at a time.  Chunks are carved back to back (aligned only to
+// the largest class they contain), so arena locality never skews cache
+// set usage.
+const arenaChunk = 2 << 10
+
+// An Allocator carves blocks out of the simulated memory image.  It is a
+// bump allocator over power-of-two size classes with per-class free
+// lists; frees recycle blocks within their class and arena, mirroring
+// the reuse behaviour of the dlmalloc-family allocators the paper
+// assumes.
+type Allocator struct {
+	img    *mem.Image
+	next   mem.Addr
+	limit  mem.Addr
+	arenas []*arena
+
+	// sizes records the class of every live block so PaddingAddr and
+	// Free can validate their arguments.
+	sizes map[mem.Addr]blockInfo
+
+	// Stats.
+	allocs     int
+	frees      int
+	liveBytes  int
+	totalBytes int
+}
+
+type arena struct {
+	next mem.Addr
+	end  mem.Addr
+	free map[uint32][]mem.Addr // size class -> freed block addresses
+}
+
+type blockInfo struct {
+	class   uint32 // block size in bytes (power of two)
+	payload uint32 // requested size in bytes
+	arena   ArenaID
+}
+
+// New returns an allocator that places blocks into img starting at Base.
+func New(img *mem.Image) *Allocator {
+	return &Allocator{
+		img:    img,
+		next:   Base,
+		limit:  0xF000_0000,
+		arenas: []*arena{{free: make(map[uint32][]mem.Addr)}},
+		sizes:  make(map[mem.Addr]blockInfo),
+	}
+}
+
+// NewArena creates an allocation arena (a locality domain).
+func (a *Allocator) NewArena() ArenaID {
+	a.arenas = append(a.arenas, &arena{free: make(map[uint32][]mem.Addr)})
+	return ArenaID(len(a.arenas) - 1)
+}
+
+// SizeClass returns the power-of-two block size used for a payload of n
+// bytes.
+func SizeClass(n uint32) uint32 {
+	if n < MinClass {
+		return MinClass
+	}
+	c := uint32(MinClass)
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Alloc allocates a block for n payload bytes in the default arena.
+func (a *Allocator) Alloc(n uint32) mem.Addr { return a.AllocIn(0, n) }
+
+// AllocIn allocates a block for n payload bytes in the given arena and
+// returns its address.  The block's contents are zeroed (freed blocks
+// are recycled, so stale words must not leak into "fresh" allocations).
+func (a *Allocator) AllocIn(id ArenaID, n uint32) mem.Addr {
+	if n == 0 {
+		n = 1
+	}
+	ar := a.arenas[id]
+	class := SizeClass(n)
+	var addr mem.Addr
+	if fl := ar.free[class]; len(fl) > 0 {
+		addr = fl[len(fl)-1]
+		ar.free[class] = fl[:len(fl)-1]
+	} else {
+		// Align the bump pointer to the class size so blocks never
+		// straddle larger power-of-two boundaries gratuitously.
+		mask := mem.Addr(class - 1)
+		ar.next = (ar.next + mask) &^ mask
+		if ar.next+mem.Addr(class) > ar.end {
+			// Claim a fresh chunk from the global region, sized to fit
+			// at least one block of this class.
+			chunk := mem.Addr(arenaChunk)
+			if mem.Addr(class) > chunk {
+				chunk = mem.Addr(class)
+			}
+			a.next = (a.next + mask) &^ mask
+			ar.next = a.next
+			ar.end = a.next + chunk
+			a.next = ar.end
+			if a.next > a.limit {
+				panic(fmt.Sprintf("heap: out of simulated memory (next=%#x)", a.next))
+			}
+		}
+		addr = ar.next
+		ar.next += mem.Addr(class)
+		a.totalBytes += int(class)
+	}
+	for off := uint32(0); off < class; off += mem.WordBytes {
+		a.img.WriteWord(addr+mem.Addr(off), 0)
+	}
+	a.sizes[addr] = blockInfo{class: class, payload: n, arena: id}
+	a.allocs++
+	a.liveBytes += int(class)
+	return addr
+}
+
+// Free returns the block at addr to its arena's size-class free list.
+func (a *Allocator) Free(addr mem.Addr) {
+	info, ok := a.sizes[addr]
+	if !ok {
+		panic(fmt.Sprintf("heap: free of unallocated address %#x", addr))
+	}
+	delete(a.sizes, addr)
+	ar := a.arenas[info.arena]
+	ar.free[info.class] = append(ar.free[info.class], addr)
+	a.frees++
+	a.liveBytes -= int(info.class)
+}
+
+// BlockSize returns the block (class) size in bytes of the live block at
+// addr, or 0 if addr is not a live block start.
+func (a *Allocator) BlockSize(addr mem.Addr) uint32 {
+	return a.sizes[addr].class
+}
+
+// PayloadSize returns the requested payload size of the live block at
+// addr, or 0 if addr is not a live block start.
+func (a *Allocator) PayloadSize(addr mem.Addr) uint32 {
+	return a.sizes[addr].payload
+}
+
+// PaddingWords reports how many whole words of padding the block at addr
+// carries after its payload.  Zero means the payload exactly fills the
+// block and no jump-pointer storage is available (paper §3.3: "if the
+// size is exactly a power of two ... the unvaried load is used").
+func (a *Allocator) PaddingWords(addr mem.Addr) uint32 {
+	info, ok := a.sizes[addr]
+	if !ok {
+		return 0
+	}
+	payloadWords := (info.payload + mem.WordBytes - 1) / mem.WordBytes
+	return info.class/mem.WordBytes - payloadWords
+}
+
+// PaddingAddr returns the address of the last word of the block at addr
+// — the canonical jump-pointer slot — and whether such padding exists.
+// The hardware mechanism derives this address from the annotated load's
+// size variant; we derive it from the allocator's records, which encodes
+// the same information.
+func (a *Allocator) PaddingAddr(addr mem.Addr) (mem.Addr, bool) {
+	info, ok := a.sizes[addr]
+	if !ok || a.PaddingWords(addr) == 0 {
+		return 0, false
+	}
+	return addr + mem.Addr(info.class) - mem.WordBytes, true
+}
+
+// PaddingAddrForBlock computes the jump-pointer slot for a block of the
+// given class size without consulting liveness records.  The hardware
+// JPP engine uses this when it only knows the home node address and the
+// load's size annotation.
+func PaddingAddrForBlock(addr mem.Addr, class uint32) mem.Addr {
+	return addr + mem.Addr(class) - mem.WordBytes
+}
+
+// Contains reports whether addr falls inside the allocated heap range.
+// Prefetch engines use it to discard garbage "pointers".
+func (a *Allocator) Contains(addr mem.Addr) bool {
+	return addr >= Base && addr < a.next
+}
+
+// Allocs and Frees report allocation event counts.
+func (a *Allocator) Allocs() int { return a.allocs }
+
+// Frees reports how many blocks have been freed.
+func (a *Allocator) Frees() int { return a.frees }
+
+// LiveBytes reports bytes in live blocks (by class size).
+func (a *Allocator) LiveBytes() int { return a.liveBytes }
+
+// TotalBytes reports bytes ever carved from the bump region.
+func (a *Allocator) TotalBytes() int { return a.totalBytes }
+
+// Image returns the backing memory image.
+func (a *Allocator) Image() *mem.Image { return a.img }

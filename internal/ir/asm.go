@@ -1,0 +1,315 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// Val is a register value handle.  Workload kernels thread Vals between
+// Asm calls; each Val carries the concrete 32-bit value (so the kernel
+// can compute with it in Go), the dynamic sequence number of the
+// producing instruction (so the timing core can track dependences) and
+// the producer's static PC (ground truth for tests).
+//
+// The zero Val is the constant 0: always ready, produced by nothing.
+type Val struct {
+	seq uint64
+	v   uint32
+	pc  uint32
+}
+
+// Imm returns a constant value, always ready.
+func Imm(v uint32) Val { return Val{v: v} }
+
+// U32 returns the concrete value.
+func (v Val) U32() uint32 { return v.v }
+
+// IsNil reports whether the value is a null pointer.
+func (v Val) IsNil() bool { return v.v == 0 }
+
+// Sites 0..63 are reserved for the simulated runtime (malloc, free).
+// Workload kernels must use sites >= FirstUserSite.
+const (
+	mallocSite    = 0
+	mallocSiteEnd = 15
+	freeSite      = 16
+	freeSiteEnd   = 23
+	// FirstUserSite is the first static-instruction site available to
+	// workload kernels.
+	FirstUserSite = 64
+)
+
+// SitePC converts a static site id to its simulated program counter.
+func SitePC(site int) uint32 { return CodeBase + uint32(site)*4 }
+
+// Asm builds a workload's dynamic instruction stream.  It is handed to
+// the kernel function by NewGen and must not be retained after the
+// kernel returns.
+type Asm struct {
+	img  *mem.Image
+	heap *heap.Allocator
+
+	emit func(*DynInst)
+
+	seq      uint64
+	sp       uint32
+	overhead bool
+
+	counts     [NumClasses]uint64
+	origInsts  uint64 // non-overhead instructions
+	ovhdInsts  uint64 // overhead (prefetch-transformation) instructions
+	ldsLoads   uint64
+	otherLoads uint64
+}
+
+// newAsm is called by NewGen.
+func newAsm(alloc *heap.Allocator, emit func(*DynInst)) *Asm {
+	return &Asm{img: alloc.Image(), heap: alloc, emit: emit, sp: StackBase}
+}
+
+// Heap returns the simulated allocator, for workloads that need direct
+// inspection (e.g. padding-slot addresses for software jump-pointers).
+func (a *Asm) Heap() *heap.Allocator { return a.heap }
+
+// Image returns the simulated memory image.
+func (a *Asm) Image() *mem.Image { return a.img }
+
+func (a *Asm) next(site int) (uint64, uint32) {
+	a.seq++
+	return a.seq, SitePC(site)
+}
+
+func (a *Asm) record(d *DynInst) {
+	a.counts[d.Class]++
+	if a.overhead || d.Class == Prefetch {
+		d.Flags |= FOverhead
+	}
+	if d.Flags&FOverhead != 0 {
+		a.ovhdInsts++
+	} else {
+		a.origInsts++
+	}
+	if d.Class == Load {
+		if d.Flags&FLDS != 0 {
+			a.ldsLoads++
+		} else {
+			a.otherLoads++
+		}
+	}
+	a.emit(d)
+}
+
+// Overhead runs fn with all emitted instructions tagged FOverhead.  The
+// prefetching idioms wrap jump-pointer creation and prefetch code in it
+// so that overhead accounting (Figure 6 normalization, the costs table)
+// is automatic.
+func (a *Asm) Overhead(fn func()) {
+	prev := a.overhead
+	a.overhead = true
+	fn()
+	a.overhead = prev
+}
+
+// Op emits an instruction of class c whose result the kernel computed in
+// Go.  x and y are the register inputs (use Imm for constants).
+func (a *Asm) Op(site int, c Class, result uint32, x, y Val) Val {
+	seq, pc := a.next(site)
+	a.record(&DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result})
+	return Val{seq: seq, v: result, pc: pc}
+}
+
+// Alu emits a single-cycle integer operation.
+func (a *Asm) Alu(site int, result uint32, x, y Val) Val {
+	return a.Op(site, IntAlu, result, x, y)
+}
+
+// AddImm emits the common pointer-arithmetic idiom x + k.
+func (a *Asm) AddImm(site int, x Val, k uint32) Val {
+	return a.Op(site, IntAlu, x.v+k, x, Val{})
+}
+
+// Load emits a binding load from base+off and returns the loaded value.
+func (a *Asm) Load(site int, base Val, off uint32, flags Flag) Val {
+	seq, pc := a.next(site)
+	addr := base.v + off
+	v := a.img.ReadWord(addr)
+	a.record(&DynInst{
+		Seq: seq, PC: pc, Class: Load, Src1: base.seq,
+		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
+		Flags: flags,
+	})
+	return Val{seq: seq, v: v, pc: pc}
+}
+
+// LoadIdx emits a load from base+idx+off with two register inputs
+// (array indexing).
+func (a *Asm) LoadIdx(site int, base, idx Val, off uint32, flags Flag) Val {
+	seq, pc := a.next(site)
+	addr := base.v + idx.v + off
+	v := a.img.ReadWord(addr)
+	a.record(&DynInst{
+		Seq: seq, PC: pc, Class: Load, Src1: base.seq, Src2: idx.seq,
+		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
+		Flags: flags,
+	})
+	return Val{seq: seq, v: v, pc: pc}
+}
+
+// Store emits a store of val to base+off.
+func (a *Asm) Store(site int, base Val, off uint32, val Val) {
+	seq, pc := a.next(site)
+	addr := base.v + off
+	a.img.WriteWord(addr, val.v)
+	a.record(&DynInst{
+		Seq: seq, PC: pc, Class: Store, Src1: base.seq, Src2: val.seq,
+		Addr: addr, Value: val.v, BaseValue: base.v, BaseProducerPC: base.pc,
+	})
+}
+
+// Prefetch emits a non-binding software prefetch of the block at
+// base+off.  Prefetches are always overhead instructions.
+func (a *Asm) Prefetch(site int, base Val, off uint32, flags Flag) {
+	seq, pc := a.next(site)
+	addr := base.v + off
+	a.record(&DynInst{
+		Seq: seq, PC: pc, Class: Prefetch, Src1: base.seq,
+		Addr: addr, BaseValue: base.v, BaseProducerPC: base.pc,
+		Flags: flags,
+	})
+}
+
+// Branch emits a conditional branch at site, jumping to targetSite when
+// taken.  x and y are the compared register inputs.
+func (a *Asm) Branch(site int, taken bool, targetSite int, x, y Val) {
+	seq, pc := a.next(site)
+	a.record(&DynInst{
+		Seq: seq, PC: pc, Class: Branch, Src1: x.seq, Src2: y.seq,
+		Taken: taken, Target: SitePC(targetSite),
+	})
+}
+
+// Jump emits an unconditional jump to targetSite.
+func (a *Asm) Jump(site, targetSite int, flags Flag) {
+	seq, pc := a.next(site)
+	a.record(&DynInst{Seq: seq, PC: pc, Class: Jump, Taken: true,
+		Target: SitePC(targetSite), Flags: flags})
+}
+
+// Call emits a procedure call (jump flagged FCall).
+func (a *Asm) Call(site, targetSite int) { a.Jump(site, targetSite, FCall) }
+
+// Ret emits a procedure return (jump flagged FReturn; returns are
+// predicted perfectly, standing in for a return-address stack).
+func (a *Asm) Ret(site int) { a.Jump(site, site, FReturn) }
+
+// Push spills v to the simulated stack (register save).
+func (a *Asm) Push(site int, v Val) {
+	a.sp -= mem.WordBytes
+	a.storeAbs(site, a.sp, v)
+}
+
+// Pop reloads the most recent spill.
+func (a *Asm) Pop(site int) Val {
+	v := a.loadAbs(site, a.sp, 0)
+	a.sp += mem.WordBytes
+	return v
+}
+
+func (a *Asm) loadAbs(site int, addr uint32, flags Flag) Val {
+	seq, pc := a.next(site)
+	v := a.img.ReadWord(addr)
+	a.record(&DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags})
+	return Val{seq: seq, v: v, pc: pc}
+}
+
+func (a *Asm) storeAbs(site int, addr uint32, val Val) {
+	seq, pc := a.next(site)
+	a.img.WriteWord(addr, val.v)
+	a.record(&DynInst{Seq: seq, PC: pc, Class: Store, Src1: val.seq, Addr: addr, Value: val.v})
+}
+
+// LoadGlobal emits a load from the static data area.
+func (a *Asm) LoadGlobal(site int, off uint32) Val {
+	return a.loadAbs(site, GlobalBase+off, 0)
+}
+
+// StoreGlobal emits a store to the static data area.
+func (a *Asm) StoreGlobal(site int, off uint32, val Val) {
+	a.storeAbs(site, GlobalBase+off, val)
+}
+
+// mallocMeta is the global address of the simulated allocator's
+// metadata, touched by Malloc/FreeNode to charge realistic allocator
+// cache behaviour.
+const mallocMeta = GlobalBase + 0x1000
+
+// Malloc allocates n payload bytes on the simulated heap and emits the
+// instruction cost of a size-class allocator call: a handful of integer
+// operations plus free-list metadata accesses.  The returned Val is the
+// block pointer.
+func (a *Asm) Malloc(n uint32) Val { return a.MallocIn(0, n) }
+
+// MallocIn is Malloc into a specific arena (locality domain).
+func (a *Asm) MallocIn(id heap.ArenaID, n uint32) Val {
+	// Size-class computation.
+	v := a.Alu(mallocSite, n, Imm(n), Val{})
+	v = a.Alu(mallocSite+1, heap.SizeClass(n), v, Val{})
+	// Free-list head load, unlink, store back.
+	cls := heap.SizeClass(n)
+	head := a.loadAbs(mallocSite+2, mallocMeta+cls, 0)
+	addr := a.heap.AllocIn(id, n)
+	p := a.Alu(mallocSite+3, addr, head, v)
+	a.storeAbs(mallocSite+4, mallocMeta+cls, p)
+	// Bookkeeping arithmetic typical of dlmalloc-style allocators.
+	p = a.Alu(mallocSite+5, addr, p, Val{})
+	a.Branch(mallocSite+6, false, mallocSite, p, Val{})
+	return Val{seq: p.seq, v: addr, pc: p.pc}
+}
+
+// FreeNode releases the block at p, emitting free-list relink cost.
+func (a *Asm) FreeNode(p Val) {
+	cls := a.heap.BlockSize(p.v)
+	a.heap.Free(p.v)
+	head := a.loadAbs(freeSite, mallocMeta+cls, 0)
+	v := a.Alu(freeSite+1, p.v, p, head)
+	a.storeAbs(freeSite+2, mallocMeta+cls, v)
+}
+
+// Nop emits a no-op (used to pad loop bodies when calibrating work per
+// iteration in tests).
+func (a *Asm) Nop(site int) {
+	seq, pc := a.next(site)
+	a.record(&DynInst{Seq: seq, PC: pc, Class: Nop})
+}
+
+// Stats summarizes what a kernel emitted.
+type Stats struct {
+	Counts     [NumClasses]uint64
+	OrigInsts  uint64
+	OvhdInsts  uint64
+	LDSLoads   uint64
+	OtherLoads uint64
+}
+
+// Total returns the total dynamic instruction count.
+func (s Stats) Total() uint64 { return s.OrigInsts + s.OvhdInsts }
+
+func (a *Asm) stats() Stats {
+	return Stats{
+		Counts:     a.counts,
+		OrigInsts:  a.origInsts,
+		OvhdInsts:  a.ovhdInsts,
+		LDSLoads:   a.ldsLoads,
+		OtherLoads: a.otherLoads,
+	}
+}
+
+// Seq returns the number of instructions emitted so far.
+func (a *Asm) Seq() uint64 { return a.seq }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("insts=%d (orig=%d ovhd=%d) loads=%d/%d(lds/other)",
+		s.Total(), s.OrigInsts, s.OvhdInsts, s.LDSLoads, s.OtherLoads)
+}

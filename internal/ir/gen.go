@@ -1,0 +1,136 @@
+package ir
+
+import "repro/internal/heap"
+
+// BatchSize is the number of instructions handed from the kernel
+// goroutine to the timing model at a time.  It bounds how far the
+// functional execution (and therefore the memory image) can run ahead of
+// the timing model: prefetch engines may observe stores up to one batch
+// early, which is far below the reuse distances that matter for these
+// workloads.
+const BatchSize = 4096
+
+// stopGen is the panic value used to unwind a kernel goroutine when the
+// consumer stops early.
+type stopGen struct{}
+
+// Gen produces a workload's dynamic instruction stream.  The kernel
+// function runs on its own goroutine, but execution is strictly
+// ping-pong: while the consumer drains a batch the kernel is blocked, so
+// the memory image is never accessed concurrently.
+type Gen struct {
+	ch   chan []DynInst
+	ack  chan struct{}
+	quit chan struct{}
+
+	asm *Asm
+
+	cur  []DynInst
+	pos  int
+	done bool
+
+	stats   Stats
+	kernErr any
+}
+
+// NewGen starts a kernel and returns its instruction stream.  The kernel
+// must emit at least one instruction before returning.
+func NewGen(alloc *heap.Allocator, kernel func(*Asm)) *Gen {
+	g := &Gen{
+		ch:   make(chan []DynInst),
+		ack:  make(chan struct{}),
+		quit: make(chan struct{}),
+	}
+	batch := make([]DynInst, 0, BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		select {
+		case g.ch <- batch:
+		case <-g.quit:
+			panic(stopGen{})
+		}
+		select {
+		case <-g.ack:
+		case <-g.quit:
+			panic(stopGen{})
+		}
+		batch = batch[:0]
+	}
+	emit := func(d *DynInst) {
+		batch = append(batch, *d)
+		if len(batch) == BatchSize {
+			flush()
+		}
+	}
+	g.asm = newAsm(alloc, emit)
+	go func() {
+		defer close(g.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, stopped := r.(stopGen); !stopped {
+					g.kernErr = r
+				}
+			}
+		}()
+		kernel(g.asm)
+		flush()
+	}()
+	return g
+}
+
+// Next returns the next dynamic instruction, or nil when the kernel has
+// finished.  The returned pointer is valid only until the following
+// BatchSize'th call.
+func (g *Gen) Next() *DynInst {
+	if g.pos < len(g.cur) {
+		d := &g.cur[g.pos]
+		g.pos++
+		return d
+	}
+	if g.done {
+		return nil
+	}
+	if g.cur != nil {
+		// Let the kernel refill.
+		g.ack <- struct{}{}
+	}
+	batch, ok := <-g.ch
+	if !ok {
+		g.done = true
+		g.finish()
+		return nil
+	}
+	g.cur, g.pos = batch, 1
+	return &g.cur[0]
+}
+
+func (g *Gen) finish() {
+	g.stats = g.asm.stats()
+	if g.kernErr != nil {
+		panic(g.kernErr)
+	}
+}
+
+// Stop abandons the stream, unwinding the kernel goroutine.  Safe to
+// call at any point, including after exhaustion.
+func (g *Gen) Stop() {
+	if g.done {
+		return
+	}
+	close(g.quit)
+	// Drain until the kernel goroutine exits.
+	for range g.ch {
+		select {
+		case g.ack <- struct{}{}:
+		default:
+		}
+	}
+	g.done = true
+	g.stats = g.asm.stats()
+}
+
+// Stats reports what the kernel emitted.  Valid after Next has returned
+// nil (or after Stop).
+func (g *Gen) Stats() Stats { return g.stats }

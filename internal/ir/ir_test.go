@@ -1,0 +1,319 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// drain runs a kernel and collects its dynamic instructions.
+func drain(t *testing.T, kernel func(*Asm)) ([]DynInst, Stats) {
+	t.Helper()
+	alloc := heap.New(mem.NewImage())
+	g := NewGen(alloc, kernel)
+	var out []DynInst
+	for d := g.Next(); d != nil; d = g.Next() {
+		out = append(out, *d)
+	}
+	return out, g.Stats()
+}
+
+func TestSequenceAndPC(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		a.Alu(100, 1, Imm(1), Val{})
+		a.Alu(101, 2, Imm(2), Val{})
+		a.Nop(102)
+	})
+	if len(insts) != 3 {
+		t.Fatalf("got %d instructions", len(insts))
+	}
+	for i, d := range insts {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("inst %d: seq %d", i, d.Seq)
+		}
+		if d.PC != SitePC(100+i) {
+			t.Fatalf("inst %d: pc %#x, want %#x", i, d.PC, SitePC(100+i))
+		}
+	}
+}
+
+func TestDependencesThreadThroughVals(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		x := a.Alu(100, 5, Imm(5), Val{})
+		y := a.Alu(101, 7, x, Val{})
+		a.Alu(102, 12, x, y)
+	})
+	if insts[1].Src1 != insts[0].Seq {
+		t.Fatal("second instruction does not depend on the first")
+	}
+	if insts[2].Src1 != insts[0].Seq || insts[2].Src2 != insts[1].Seq {
+		t.Fatal("third instruction's sources wrong")
+	}
+}
+
+func TestLoadStoreExecuteFunctionally(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		p := a.Malloc(12)
+		a.Store(100, p, 4, Imm(0xBEEF))
+		v := a.Load(101, p, 4, FLDS)
+		if v.U32() != 0xBEEF {
+			t.Errorf("loaded %#x, want 0xBEEF", v.U32())
+		}
+		a.Alu(102, v.U32(), v, Val{})
+	})
+	// Find the load and check its recorded metadata.
+	var ld *DynInst
+	for i := range insts {
+		if insts[i].Class == Load && insts[i].Flags&FLDS != 0 {
+			ld = &insts[i]
+		}
+	}
+	if ld == nil {
+		t.Fatal("no LDS load emitted")
+	}
+	if ld.Value != 0xBEEF {
+		t.Fatalf("load value %#x", ld.Value)
+	}
+	if ld.Addr != ld.BaseValue+4 {
+		t.Fatalf("addr %#x base %#x", ld.Addr, ld.BaseValue)
+	}
+}
+
+func TestBaseProducerPC(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		p := a.Malloc(12)
+		q := a.Malloc(12)
+		a.Store(100, p, 0, q) // p->next = q
+		n := a.Load(101, p, 0, FLDS)
+		a.Load(102, n, 0, FLDS) // load through the loaded pointer
+	})
+	last := insts[len(insts)-1]
+	if last.BaseProducerPC != SitePC(101) {
+		t.Fatalf("BaseProducerPC = %#x, want PC of site 101 (%#x)", last.BaseProducerPC, SitePC(101))
+	}
+}
+
+func TestOverheadTagging(t *testing.T) {
+	_, stats := drain(t, func(a *Asm) {
+		p := a.Malloc(12)
+		a.Load(100, p, 0, 0)
+		a.Overhead(func() {
+			a.Load(101, p, 0, 0)
+			a.Alu(102, 0, Val{}, Val{})
+		})
+		a.Prefetch(103, p, 0, 0) // prefetches are always overhead
+	})
+	if stats.OvhdInsts != 3 {
+		t.Fatalf("overhead insts = %d, want 3", stats.OvhdInsts)
+	}
+}
+
+func TestBranchMetadata(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		a.Branch(100, true, 200, Imm(1), Imm(2))
+		a.Branch(101, false, 300, Val{}, Val{})
+	})
+	if !insts[0].Taken || insts[0].Target != SitePC(200) {
+		t.Fatalf("taken branch: %+v", insts[0])
+	}
+	if insts[1].Taken {
+		t.Fatal("not-taken branch marked taken")
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		x := a.Alu(100, 42, Imm(42), Val{})
+		a.Push(101, x)
+		y := a.Pop(102)
+		if y.U32() != 42 {
+			t.Errorf("popped %d, want 42", y.U32())
+		}
+		a.Alu(103, y.U32(), y, Val{})
+	})
+	// Push is a store, pop a load, to the same stack address.
+	var st, ld *DynInst
+	for i := range insts {
+		switch insts[i].Class {
+		case Store:
+			st = &insts[i]
+		case Load:
+			ld = &insts[i]
+		}
+	}
+	if st == nil || ld == nil || st.Addr != ld.Addr {
+		t.Fatal("push/pop did not use the same stack slot")
+	}
+	if st.Addr < GlobalBase {
+		t.Fatal("stack slot below the stack region")
+	}
+}
+
+func TestMallocEmitsAllocatorCost(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		a.Malloc(12)
+	})
+	if len(insts) < 5 {
+		t.Fatalf("Malloc emitted only %d instructions", len(insts))
+	}
+	var loads, stores int
+	for _, d := range insts {
+		switch d.Class {
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatal("Malloc must touch allocator metadata")
+	}
+}
+
+func TestGenBatchingAcrossBoundary(t *testing.T) {
+	n := BatchSize*2 + 17
+	insts, stats := drain(t, func(a *Asm) {
+		for i := 0; i < n; i++ {
+			a.Alu(100, uint32(i), Val{}, Val{})
+		}
+	})
+	if len(insts) != n {
+		t.Fatalf("got %d instructions, want %d", len(insts), n)
+	}
+	if stats.Total() != uint64(n) {
+		t.Fatalf("stats total %d", stats.Total())
+	}
+	// Values must survive batch reuse (we copied them out).
+	for i, d := range insts {
+		if d.Value != uint32(i) {
+			t.Fatalf("inst %d value %d", i, d.Value)
+		}
+	}
+}
+
+func TestGenStopUnwindsKernel(t *testing.T) {
+	alloc := heap.New(mem.NewImage())
+	g := NewGen(alloc, func(a *Asm) {
+		for i := 0; ; i++ {
+			a.Nop(100)
+		}
+	})
+	// Pull a couple of batches, then abandon.
+	for i := 0; i < BatchSize+5; i++ {
+		if g.Next() == nil {
+			t.Fatal("stream ended unexpectedly")
+		}
+	}
+	g.Stop()
+	if g.Stats().Total() == 0 {
+		t.Fatal("stats unavailable after Stop")
+	}
+	// Idempotent.
+	g.Stop()
+}
+
+func TestKernelPanicPropagates(t *testing.T) {
+	alloc := heap.New(mem.NewImage())
+	g := NewGen(alloc, func(a *Asm) {
+		a.Nop(100)
+		panic("kernel bug")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kernel panic did not propagate to the consumer")
+		}
+	}()
+	for d := g.Next(); d != nil; d = g.Next() {
+	}
+}
+
+func TestStatsClassCounts(t *testing.T) {
+	_, stats := drain(t, func(a *Asm) {
+		p := a.Malloc(12)
+		a.Load(100, p, 0, FLDS)
+		a.Load(101, p, 4, 0)
+		a.Op(102, FpMult, 0, Val{}, Val{})
+		a.Branch(103, false, 100, Val{}, Val{})
+	})
+	if stats.LDSLoads != 1 {
+		t.Fatalf("LDS loads = %d", stats.LDSLoads)
+	}
+	if stats.Counts[FpMult] != 1 || stats.Counts[Branch] != 2 {
+		// (Malloc emits one branch of its own.)
+		t.Fatalf("class counts: %v", stats.Counts)
+	}
+}
+
+func TestLoadIdxTwoSources(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		base := a.Alu(100, GlobalBase, Imm(GlobalBase), Val{})
+		idx := a.Alu(101, 8, Imm(8), Val{})
+		a.StoreGlobal(102, 8, Imm(77))
+		v := a.LoadIdx(103, base, idx, 0, 0)
+		if v.U32() != 77 {
+			t.Errorf("LoadIdx read %d, want 77", v.U32())
+		}
+	})
+	var ld *DynInst
+	for i := range insts {
+		if insts[i].Class == Load {
+			ld = &insts[i]
+		}
+	}
+	if ld.Src1 == 0 || ld.Src2 == 0 {
+		t.Fatal("LoadIdx must carry both register sources")
+	}
+}
+
+func TestGlobalAccess(t *testing.T) {
+	drain(t, func(a *Asm) {
+		a.StoreGlobal(100, 0x40, Imm(123))
+		v := a.LoadGlobal(101, 0x40)
+		if v.U32() != 123 {
+			t.Errorf("global roundtrip got %d", v.U32())
+		}
+	})
+}
+
+func TestCallRetFlags(t *testing.T) {
+	insts, _ := drain(t, func(a *Asm) {
+		a.Call(100, 200)
+		a.Ret(101)
+	})
+	if insts[0].Class != Jump || insts[0].Flags&FCall == 0 {
+		t.Fatalf("call not flagged: %+v", insts[0])
+	}
+	if insts[1].Flags&FReturn == 0 {
+		t.Fatalf("ret not flagged: %+v", insts[1])
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := Nop; c < Class(NumClasses); c++ {
+		if c.String() == "?" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}
+
+func TestAddImm(t *testing.T) {
+	drain(t, func(a *Asm) {
+		x := a.Alu(100, 10, Imm(10), Val{})
+		y := a.AddImm(101, x, 5)
+		if y.U32() != 15 {
+			t.Errorf("AddImm = %d", y.U32())
+		}
+	})
+}
+
+func TestFreeNodeEmitsAndRecycles(t *testing.T) {
+	drain(t, func(a *Asm) {
+		p := a.Malloc(12)
+		a.FreeNode(p)
+		q := a.Malloc(12)
+		if q.U32() != p.U32() {
+			t.Errorf("free block not recycled through Asm")
+		}
+	})
+}

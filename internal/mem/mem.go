@@ -1,0 +1,89 @@
+// Package mem provides the simulated flat memory image that workload
+// kernels execute against and that hardware prefetch engines inspect.
+//
+// The image models a 32-bit, word-addressable address space (words are
+// 4 bytes, matching the MIPS-I pointer size used by the paper's
+// evaluation).  Storage is sparse: pages are allocated on first touch so
+// that workloads can scatter data structures across the address space
+// without committing host memory for untouched regions.
+package mem
+
+// Word and page geometry.  Pages exist purely to make the image sparse;
+// they are unrelated to the simulated virtual-memory page size used by
+// the TLB model (see internal/cache).
+const (
+	// WordBytes is the size of a simulated machine word in bytes.
+	WordBytes = 4
+	// pageWords is the number of words per backing page (16 KiB pages).
+	pageWords = 1 << 12
+	pageBytes = pageWords * WordBytes
+	pageShift = 14 // log2(pageBytes)
+)
+
+// Addr is a simulated 32-bit byte address.
+type Addr = uint32
+
+// Image is a sparse simulated memory image.  The zero value is ready to
+// use.  An Image is not safe for concurrent use; the generator/consumer
+// handoff in internal/ir guarantees single-goroutine access.
+type Image struct {
+	pages map[uint32]*[pageWords]uint32
+	// touched counts words written at least once, used by footprint
+	// accounting in tests.
+	touched int
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint32]*[pageWords]uint32)}
+}
+
+func (m *Image) page(a Addr, create bool) *[pageWords]uint32 {
+	idx := uint32(a) >> pageShift
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([pageWords]uint32)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// ReadWord returns the word at byte address a.  The low two address bits
+// are ignored (word alignment), matching aligned MIPS loads.  Reads of
+// never-written memory return zero, like freshly mapped pages.
+func (m *Image) ReadWord(a Addr) uint32 {
+	p := m.page(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[(a%pageBytes)/WordBytes]
+}
+
+// WriteWord stores v at byte address a (word aligned).
+func (m *Image) WriteWord(a Addr, v uint32) {
+	p := m.page(a, true)
+	p[(a%pageBytes)/WordBytes] = v
+}
+
+// ByteAt returns the byte at address a.
+func (m *Image) ByteAt(a Addr) byte {
+	w := m.ReadWord(a)
+	shift := (a % WordBytes) * 8
+	return byte(w >> shift)
+}
+
+// SetByte stores b at byte address a, preserving the other bytes of
+// the containing word.
+func (m *Image) SetByte(a Addr, b byte) {
+	w := m.ReadWord(a)
+	shift := (a % WordBytes) * 8
+	w = w&^(0xff<<shift) | uint32(b)<<shift
+	m.WriteWord(a, w)
+}
+
+// PageCount reports how many backing pages have been materialized.
+func (m *Image) PageCount() int { return len(m.pages) }
+
+// FootprintBytes reports the total bytes of materialized pages.  It is a
+// coarse upper bound on the simulated program's data footprint.
+func (m *Image) FootprintBytes() int { return len(m.pages) * pageBytes }

@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := NewImage()
+	m.WriteWord(0x1000, 0xdeadbeef)
+	if got := m.ReadWord(0x1000); got != 0xdeadbeef {
+		t.Fatalf("ReadWord = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := NewImage()
+	for _, a := range []Addr{0, 4, 0x1000_0000, 0xFFFF_FFFC} {
+		if got := m.ReadWord(a); got != 0 {
+			t.Fatalf("ReadWord(%#x) = %#x, want 0", a, got)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Fatalf("reads must not materialize pages, got %d", m.PageCount())
+	}
+}
+
+func TestWordAlignment(t *testing.T) {
+	m := NewImage()
+	m.WriteWord(0x100, 42)
+	// The low two address bits are ignored.
+	for off := Addr(0); off < 4; off++ {
+		if got := m.ReadWord(0x100 + off); got != 42 {
+			t.Fatalf("ReadWord(0x100+%d) = %d, want 42", off, got)
+		}
+	}
+}
+
+func TestSparsePages(t *testing.T) {
+	m := NewImage()
+	m.WriteWord(0x0000_0000, 1)
+	m.WriteWord(0x8000_0000, 2)
+	m.WriteWord(0x8000_0004, 3)
+	if got := m.PageCount(); got != 2 {
+		t.Fatalf("PageCount = %d, want 2", got)
+	}
+	if m.FootprintBytes() != 2*pageBytes {
+		t.Fatalf("FootprintBytes = %d", m.FootprintBytes())
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	m := NewImage()
+	m.WriteWord(0x200, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := m.ByteAt(0x200 + Addr(i)); got != want {
+			t.Fatalf("ByteAt(+%d) = %d, want %d", i, got, want)
+		}
+	}
+	m.SetByte(0x202, 0xAA)
+	if got := m.ReadWord(0x200); got != 0x04AA0201 {
+		t.Fatalf("after SetByte, word = %#x", got)
+	}
+}
+
+func TestWriteDistinctWordsProperty(t *testing.T) {
+	// Writes to distinct word addresses never interfere.
+	m := NewImage()
+	written := map[Addr]uint32{}
+	f := func(addr Addr, v uint32) bool {
+		addr &^= 3
+		m.WriteWord(addr, v)
+		written[addr] = v
+		for a, want := range written {
+			if m.ReadWord(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
