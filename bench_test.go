@@ -44,12 +44,54 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 // BenchmarkFig5 regenerates the implementation comparison and reports
-// the cooperative-JPP speedup on health.
+// the cooperative-JPP speedup on health.  The serial/parallel pair
+// measures the batch runner's wall-clock win on the heaviest artifact
+// (~100 simulations); the reports themselves are byte-identical (see
+// harness.TestParallelSerialIdenticalReports).
 func BenchmarkFig5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.Fig5(harness.ExpConfig{Size: benchSize}); err != nil {
-			b.Fatal(err)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Fig5(harness.ExpConfig{Size: benchSize, Workers: cfg.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerWorkers sweeps the batch runner's worker bound over
+// one Figure 5 benchmark group (health under every scheme, decomposed),
+// exposing harness throughput as a first-class measurement.
+func BenchmarkRunnerWorkers(b *testing.B) {
+	var specs []harness.Spec
+	for _, scheme := range core.Schemes() {
+		specs = append(specs, harness.Spec{
+			Bench:  "health",
+			Params: olden.Params{Scheme: scheme, Size: benchSize},
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "j" + string([]byte{byte('0' + workers)})
+		if workers == 0 {
+			name = "jmax"
 		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				items := harness.DecomposeBatch(specs, workers)
+				for _, it := range items {
+					if it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

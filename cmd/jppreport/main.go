@@ -6,11 +6,13 @@
 //	jppreport -exp fig5       # one artifact
 //	jppreport -size small     # faster, smaller inputs
 //	jppreport -bench health   # restrict to one benchmark
+//	jppreport -j 4            # cap concurrent simulations (0 = all cores)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,14 +22,27 @@ import (
 )
 
 func main() {
-	var (
-		exp   = flag.String("exp", "", "experiment id (default: all); one of "+strings.Join(repro.ExperimentIDs(), ","))
-		size  = flag.String("size", "full", "test|small|full")
-		bench = flag.String("bench", "", "restrict to a comma-separated benchmark list")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jppreport:", err)
+		os.Exit(1)
+	}
+}
 
-	cfg := repro.ExpConfig{}
+// run drives the report generation; factored out of main so tests can
+// exercise the full flag-to-report path.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jppreport", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "", "experiment id (default: all); one of "+strings.Join(repro.ExperimentIDs(), ","))
+		size  = fs.String("size", "full", "test|small|full")
+		bench = fs.String("bench", "", "restrict to a comma-separated benchmark list")
+		jobs  = fs.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := repro.ExpConfig{Workers: *jobs}
 	switch *size {
 	case "test":
 		cfg.Size = olden.SizeTest
@@ -36,8 +51,7 @@ func main() {
 	case "full":
 		cfg.Size = olden.SizeFull
 	default:
-		fmt.Fprintf(os.Stderr, "jppreport: unknown size %q\n", *size)
-		os.Exit(1)
+		return fmt.Errorf("unknown size %q", *size)
 	}
 	if *bench != "" {
 		cfg.Benches = strings.Split(*bench, ",")
@@ -51,10 +65,10 @@ func main() {
 		start := time.Now()
 		rep, err := repro.Reproduce(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "jppreport: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Println(rep.Text)
-		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out, rep.Text)
+		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

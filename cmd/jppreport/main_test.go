@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestRunAllExperimentsTestSize drives the command end to end on the
+// unit-test input size and asserts a non-empty report is printed for
+// every experiment ID.
+func TestRunAllExperimentsTestSize(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-size", "test"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	prev := 0
+	for _, id := range repro.ExperimentIDs() {
+		marker := "[" + id + " regenerated in "
+		i := strings.Index(text[prev:], marker)
+		if i < 0 {
+			t.Errorf("no output for experiment %q", id)
+			continue
+		}
+		// The report text sits between the previous marker and this one.
+		if strings.TrimSpace(text[prev:prev+i]) == "" {
+			t.Errorf("empty report text for experiment %q", id)
+		}
+		prev += i + len(marker)
+	}
+}
+
+func TestRunSingleExperimentWithWorkers(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-size", "test", "-exp", "fig5", "-bench", "health,treeadd", "-j", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "health", "treeadd"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fig5 report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-size", "enormous"}, &out); err == nil {
+		t.Error("bad -size accepted")
+	}
+	if err := run([]string{"-size", "test", "-exp", "fig9"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -63,8 +63,12 @@ func main() {
 			fatal(err)
 		}
 		printResult(d.Full)
-		fmt.Printf("\ndecomposition: total=%d compute=%d memory=%d (%.0f%% memory stall)\n",
-			d.Total, d.Compute, d.Memory(), 100*float64(d.Memory())/float64(d.Total))
+		memShare := "n/a"
+		if d.Total > 0 {
+			memShare = fmt.Sprintf("%.0f%%", 100*float64(d.Memory())/float64(d.Total))
+		}
+		fmt.Printf("\ndecomposition: total=%d compute=%d memory=%d (%s memory stall)\n",
+			d.Total, d.Compute, d.Memory(), memShare)
 		return
 	}
 	res, err := repro.Simulate(cfg)
@@ -80,9 +84,13 @@ func printResult(r repro.Result) {
 	fmt.Printf("instructions      %d (orig %d + prefetch overhead %d)\n",
 		r.CPU.Insts, r.Insts.OrigInsts, r.Insts.OvhdInsts)
 	fmt.Printf("IPC               %.3f\n", r.CPU.IPC())
-	fmt.Printf("L1D               %d accesses, %d misses (%.1f%%)\n",
-		r.Cache.L1DAccesses, r.Cache.L1DMisses,
-		100*float64(r.Cache.L1DMisses)/float64(r.Cache.L1DAccesses+1))
+	missRate := "n/a"
+	if r.Cache.L1DAccesses > 0 {
+		missRate = fmt.Sprintf("%.1f%%",
+			100*float64(r.Cache.L1DMisses)/float64(r.Cache.L1DAccesses))
+	}
+	fmt.Printf("L1D               %d accesses, %d misses (%s)\n",
+		r.Cache.L1DAccesses, r.Cache.L1DMisses, missRate)
 	fmt.Printf("L2                %d accesses, %d misses\n", r.Cache.L2Accesses, r.Cache.L2Misses)
 	fmt.Printf("LDS load misses   %d (other %d), avg in-flight %.2f\n",
 		r.CPU.LDSLoadMiss, r.CPU.OtherMiss, r.CPU.AvgMissOverlap())

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in   string
+		want repro.Scheme
+	}{
+		{"none", repro.SchemeNone},
+		{"dbp", repro.SchemeDBP},
+		{"sw", repro.SchemeSoftware},
+		{"software", repro.SchemeSoftware},
+		{"coop", repro.SchemeCooperative},
+		{"cooperative", repro.SchemeCooperative},
+		{"hw", repro.SchemeHardware},
+		{"hardware", repro.SchemeHardware},
+	}
+	for _, c := range cases {
+		got, err := parseScheme(c.in)
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("parseScheme(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "NONE", "hardwear", "all"} {
+		if _, err := parseScheme(bad); err == nil {
+			t.Errorf("parseScheme(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseIdiom(t *testing.T) {
+	cases := []struct {
+		in   string
+		want repro.Idiom
+	}{
+		{"", repro.IdiomDefault},
+		{"queue", repro.IdiomQueue},
+		{"full", repro.IdiomFull},
+		{"chain", repro.IdiomChain},
+		{"root", repro.IdiomRoot},
+	}
+	for _, c := range cases {
+		got, err := parseIdiom(c.in)
+		if err != nil {
+			t.Errorf("parseIdiom(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("parseIdiom(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"ribs", "Queue", "default"} {
+		if _, err := parseIdiom(bad); err == nil {
+			t.Errorf("parseIdiom(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want repro.Size
+	}{
+		{"test", repro.SizeTest},
+		{"small", repro.SizeSmall},
+		{"full", repro.SizeFull},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("parseSize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "tiny", "FULL"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

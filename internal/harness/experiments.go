@@ -19,6 +19,11 @@ type ExpConfig struct {
 	Size olden.Size
 	// Benches restricts the benchmark set (nil = all).
 	Benches []string
+	// Workers bounds how many simulations run concurrently (<= 0 =
+	// GOMAXPROCS, 1 = serial).  Reports are byte-identical for every
+	// worker count: the drivers declare their spec sets up front and
+	// assemble output from ordered batch results.
+	Workers int
 }
 
 func (c ExpConfig) benches() []*olden.Benchmark {
@@ -85,24 +90,33 @@ func ExperimentByID(id string) (ExpFunc, bool) {
 // LDS loads, the available miss parallelism, and the structure/idiom
 // summary.
 func Table1(cfg ExpConfig) (Report, error) {
-	var rows [][]string
-	for _, b := range cfg.benches() {
-		d, err := Decompose(Spec{
+	benches := cfg.benches()
+	specs := make([]Spec, len(benches))
+	for i, b := range benches {
+		specs[i] = Spec{
 			Bench:  b.Name,
 			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
-		})
-		if err != nil {
-			return Report{}, err
 		}
+	}
+	items := DecomposeBatch(specs, cfg.Workers)
+	if err := firstDecompErr(items); err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	for i, b := range benches {
+		d := items[i].Decomp
 		r := d.Full
-		memShare := float64(d.Memory()) / float64(d.Total)
+		memShare := 0.0
+		if d.Total > 0 {
+			memShare = float64(d.Memory()) / float64(d.Total)
+		}
 		ldsShare := 0.0
 		if m := r.CPU.LDSLoadMiss + r.CPU.OtherMiss; m > 0 {
 			ldsShare = float64(r.CPU.LDSLoadMiss) / float64(m)
 		}
 		idioms := make([]string, len(b.Idioms))
-		for i, id := range b.Idioms {
-			idioms[i] = id.String()
+		for j, id := range b.Idioms {
+			idioms[j] = id.String()
 		}
 		rows = append(rows, []string{
 			b.Name,
@@ -173,34 +187,50 @@ var fig4Matrix = []struct {
 // than one applicable idiom, software and cooperative execution times
 // per idiom, normalized to the unoptimized run.
 func Fig4(cfg ExpConfig) (Report, error) {
-	var groups []BarGroup
+	// Declare the whole spec set up front: per benchmark, the baseline
+	// followed by every scheme/idiom variant, flattened in render order.
+	type entry struct {
+		bench  string
+		labels []string
+	}
+	var (
+		entries []entry
+		specs   []Spec
+	)
 	for _, ent := range fig4Matrix {
 		if len(cfg.Benches) > 0 && !containsStr(cfg.Benches, ent.Bench) {
 			continue
 		}
-		base, err := Decompose(Spec{
+		e := entry{bench: ent.Bench, labels: []string{"none"}}
+		specs = append(specs, Spec{
 			Bench:  ent.Bench,
 			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
 		})
-		if err != nil {
-			return Report{}, err
-		}
-		g := BarGroup{Label: ent.Bench,
-			Bars: []Bar{barFromDecomp("none", base, base.Total)}}
 		for _, idiom := range ent.Idioms {
 			for _, scheme := range []core.Scheme{core.SchemeSoftware, core.SchemeCooperative} {
-				d, err := Decompose(Spec{
+				e.labels = append(e.labels, scheme.String()+"/"+idiom.String())
+				specs = append(specs, Spec{
 					Bench: ent.Bench,
 					Params: olden.Params{
 						Scheme: scheme, Idiom: idiom, Size: cfg.Size,
 					},
 				})
-				if err != nil {
-					return Report{}, err
-				}
-				label := scheme.String() + "/" + idiom.String()
-				g.Bars = append(g.Bars, barFromDecomp(label, d, base.Total))
 			}
+		}
+		entries = append(entries, e)
+	}
+	items := DecomposeBatch(specs, cfg.Workers)
+	if err := firstDecompErr(items); err != nil {
+		return Report{}, err
+	}
+	var groups []BarGroup
+	next := 0
+	for _, e := range entries {
+		base := items[next].Decomp
+		g := BarGroup{Label: e.bench}
+		for _, label := range e.labels {
+			g.Bars = append(g.Bars, barFromDecomp(label, items[next].Decomp, base.Total))
+			next++
 		}
 		groups = append(groups, g)
 	}
@@ -224,24 +254,37 @@ func Fig5(cfg ExpConfig) (Report, error) {
 }
 
 func fig5Data(cfg ExpConfig) ([]BarGroup, map[string]map[string]Result, error) {
-	results := map[string]map[string]Result{}
-	var groups []BarGroup
-	for _, b := range cfg.benches() {
-		var g BarGroup
-		g.Label = b.Name
-		results[b.Name] = map[string]Result{}
-		var baseline uint64
-		for _, scheme := range core.Schemes() {
-			d, err := Decompose(Spec{
+	benches := cfg.benches()
+	schemes := core.Schemes()
+	specs := make([]Spec, 0, len(benches)*len(schemes))
+	for _, b := range benches {
+		for _, scheme := range schemes {
+			specs = append(specs, Spec{
 				Bench:  b.Name,
 				Params: olden.Params{Scheme: scheme, Size: cfg.Size},
 			})
-			if err != nil {
-				return nil, nil, err
-			}
+		}
+	}
+	items := DecomposeBatch(specs, cfg.Workers)
+	if err := firstDecompErr(items); err != nil {
+		return nil, nil, err
+	}
+	results := map[string]map[string]Result{}
+	var groups []BarGroup
+	for bi, b := range benches {
+		row := items[bi*len(schemes) : (bi+1)*len(schemes)]
+		// Capture the baseline explicitly before building any bar, so
+		// normalization never depends on scheme iteration order.
+		var baseline uint64
+		for si, scheme := range schemes {
 			if scheme == core.SchemeNone {
-				baseline = d.Total
+				baseline = row[si].Decomp.Total
 			}
+		}
+		g := BarGroup{Label: b.Name}
+		results[b.Name] = map[string]Result{}
+		for si, scheme := range schemes {
+			d := row[si].Decomp
 			results[b.Name][scheme.String()] = d.Full
 			g.Bars = append(g.Bars, barFromDecomp(scheme.String(), d, baseline))
 		}
@@ -269,6 +312,9 @@ func fig5Summary(groups []BarGroup) string {
 		}
 		base := g.Bars[0]
 		for _, b := range g.Bars[1:] {
+			if b.Norm <= 0 {
+				continue
+			}
 			a := sums[b.Label]
 			if a == nil {
 				a = &agg{}
@@ -303,38 +349,55 @@ func fig5Summary(groups []BarGroup) string {
 // (instructions added by the prefetching transformations are not
 // counted, as in the paper).
 func Fig6(cfg ExpConfig) (Report, error) {
+	benches := cfg.benches()
+	schemes := core.Schemes()
 	header := []string{"bench"}
-	for _, s := range core.Schemes() {
+	for _, s := range schemes {
 		header = append(header, s.String())
 	}
-	var rows [][]string
-	ratios := map[string][]float64{}
-	for _, b := range cfg.benches() {
-		row := []string{b.Name}
-		var base float64
-		for _, scheme := range core.Schemes() {
-			r, err := Run(Spec{
+	specs := make([]Spec, 0, len(benches)*len(schemes))
+	for _, b := range benches {
+		for _, scheme := range schemes {
+			specs = append(specs, Spec{
 				Bench:  b.Name,
 				Params: olden.Params{Scheme: scheme, Size: cfg.Size},
 			})
-			if err != nil {
-				return Report{}, err
-			}
-			bpi := float64(r.Cache.L1L2Bytes) / float64(r.Insts.OrigInsts)
+		}
+	}
+	runs := RunBatch(specs, cfg.Workers)
+	if err := firstErr(runs); err != nil {
+		return Report{}, err
+	}
+	bytesPerInst := func(r Result) float64 {
+		if r.Insts.OrigInsts == 0 {
+			return 0
+		}
+		return float64(r.Cache.L1L2Bytes) / float64(r.Insts.OrigInsts)
+	}
+	var rows [][]string
+	ratios := map[string][]float64{}
+	for bi, b := range benches {
+		row := runs[bi*len(schemes) : (bi+1)*len(schemes)]
+		var base float64
+		for si, scheme := range schemes {
 			if scheme == core.SchemeNone {
-				base = bpi
+				base = bytesPerInst(row[si].Result)
 			}
+		}
+		cells := []string{b.Name}
+		for si, scheme := range schemes {
+			bpi := bytesPerInst(row[si].Result)
 			if base > 0 {
 				ratios[scheme.String()] = append(ratios[scheme.String()], bpi/base)
 			}
-			row = append(row, fmt.Sprintf("%.2f", bpi))
+			cells = append(cells, fmt.Sprintf("%.2f", bpi))
 		}
-		rows = append(rows, row)
+		rows = append(rows, cells)
 	}
 	text := renderTable("Figure 6: L1<->L2 bytes moved per original dynamic instruction",
 		header, rows)
 	text += "\naverage traffic increase over unoptimized:\n"
-	for _, s := range core.Schemes()[1:] {
+	for _, s := range schemes[1:] {
 		rs := ratios[s.String()]
 		sum := 0.0
 		for _, v := range rs {
@@ -353,44 +416,52 @@ func Fig6(cfg ExpConfig) (Report, error) {
 // of 70 and 280 cycles, jump-pointer intervals of 8 and 16.  Bars are
 // normalized to the unoptimized run at the same latency.
 func Fig7(cfg ExpConfig) (Report, error) {
-	var groups []BarGroup
+	type entry struct {
+		group  string
+		labels []string
+	}
+	var (
+		entries []entry
+		specs   []Spec
+	)
 	for _, lat := range []int{70, 280} {
-		memP := cache.Defaults()
-		memP.MemLatency = lat
-		g := BarGroup{Label: fmt.Sprintf("lat=%d", lat)}
-		base, err := Decompose(Spec{
+		memP := defaultsWithLatency(lat)
+		e := entry{group: fmt.Sprintf("lat=%d", lat), labels: []string{"none", "dbp"}}
+		specs = append(specs, Spec{
 			Bench:  "health",
 			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
 			Mem:    &memP,
-		})
-		if err != nil {
-			return Report{}, err
-		}
-		g.Bars = append(g.Bars, barFromDecomp("none", base, base.Total))
-		d, err := Decompose(Spec{
+		}, Spec{
 			Bench:  "health",
 			Params: olden.Params{Scheme: core.SchemeDBP, Size: cfg.Size},
 			Mem:    &memP,
 		})
-		if err != nil {
-			return Report{}, err
-		}
-		g.Bars = append(g.Bars, barFromDecomp("dbp", d, base.Total))
 		for _, scheme := range []core.Scheme{core.SchemeSoftware, core.SchemeCooperative, core.SchemeHardware} {
 			for _, interval := range []int{8, 16} {
-				d, err := Decompose(Spec{
+				e.labels = append(e.labels, fmt.Sprintf("%s/i%d", scheme, interval))
+				specs = append(specs, Spec{
 					Bench: "health",
 					Params: olden.Params{
 						Scheme: scheme, Size: cfg.Size, Interval: interval,
 					},
 					Mem: &memP,
 				})
-				if err != nil {
-					return Report{}, err
-				}
-				label := fmt.Sprintf("%s/i%d", scheme, interval)
-				g.Bars = append(g.Bars, barFromDecomp(label, d, base.Total))
 			}
+		}
+		entries = append(entries, e)
+	}
+	items := DecomposeBatch(specs, cfg.Workers)
+	if err := firstDecompErr(items); err != nil {
+		return Report{}, err
+	}
+	var groups []BarGroup
+	next := 0
+	for _, e := range entries {
+		base := items[next].Decomp
+		g := BarGroup{Label: e.group}
+		for _, label := range e.labels {
+			g.Bars = append(g.Bars, barFromDecomp(label, items[next].Decomp, base.Total))
+			next++
 		}
 		groups = append(groups, g)
 	}
@@ -409,38 +480,43 @@ func Costs(cfg ExpConfig) (Report, error) {
 	if len(cfg.Benches) > 0 {
 		benches = cfg.Benches
 	}
-	var rows [][]string
+	// Four runs per benchmark, flattened in this order.
+	const (
+		runBase = iota
+		runSW
+		runCreation
+		runCoop
+		runsPerBench
+	)
+	specs := make([]Spec, 0, len(benches)*runsPerBench)
 	for _, name := range benches {
-		base, err := Run(Spec{
+		specs = append(specs, Spec{
 			Bench:  name,
 			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
-		})
-		if err != nil {
-			return Report{}, err
-		}
-		sw, err := Run(Spec{
+		}, Spec{
 			Bench:  name,
 			Params: olden.Params{Scheme: core.SchemeSoftware, Size: cfg.Size},
-		})
-		if err != nil {
-			return Report{}, err
-		}
-		creation, err := Run(Spec{
+		}, Spec{
 			Bench: name,
 			Params: olden.Params{
 				Scheme: core.SchemeSoftware, Size: cfg.Size, CreationOnly: true,
 			},
-		})
-		if err != nil {
-			return Report{}, err
-		}
-		coop, err := Run(Spec{
+		}, Spec{
 			Bench:  name,
 			Params: olden.Params{Scheme: core.SchemeCooperative, Size: cfg.Size},
 		})
-		if err != nil {
-			return Report{}, err
-		}
+	}
+	runs := RunBatch(specs, cfg.Workers)
+	if err := firstErr(runs); err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	for bi, name := range benches {
+		row := runs[bi*runsPerBench : (bi+1)*runsPerBench]
+		base := row[runBase].Result
+		sw := row[runSW].Result
+		creation := row[runCreation].Result
+		coop := row[runCoop].Result
 		instOv := func(r Result) string {
 			return fmt.Sprintf("%.0f%%", 100*float64(r.Insts.OvhdInsts)/float64(r.Insts.OrigInsts))
 		}

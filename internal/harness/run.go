@@ -5,6 +5,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -141,22 +142,38 @@ func (d Decomposition) Memory() uint64 {
 	return d.Total - d.Compute
 }
 
-// Decompose runs spec twice (realistic + perfect data memory).
-func Decompose(spec Spec) (Decomposition, error) {
-	full, err := Run(spec)
-	if err != nil {
-		return Decomposition{}, err
-	}
+// perfectSpec derives the perfect-data-memory variant of a spec (the
+// compute-time pass of the paper's decomposition method).
+func perfectSpec(spec Spec) Spec {
 	memP := cache.Defaults()
 	if spec.Mem != nil {
 		memP = *spec.Mem
 	}
 	memP.PerfectData = true
-	spec2 := spec
-	spec2.Mem = &memP
-	perfect, err := Run(spec2)
-	if err != nil {
-		return Decomposition{}, err
+	spec.Mem = &memP
+	return spec
+}
+
+// Decompose runs spec twice (realistic + perfect data memory).  The two
+// passes are independent simulations and run concurrently.
+func Decompose(spec Spec) (Decomposition, error) {
+	var (
+		full, perfect       Result
+		fullErr, perfectErr error
+		wg                  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		perfect, perfectErr = Run(perfectSpec(spec))
+	}()
+	full, fullErr = Run(spec)
+	wg.Wait()
+	if fullErr != nil {
+		return Decomposition{}, fullErr
+	}
+	if perfectErr != nil {
+		return Decomposition{}, perfectErr
 	}
 	return Decomposition{
 		Total:   full.CPU.Cycles,

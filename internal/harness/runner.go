@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The batch runner executes independent simulations concurrently on a
+// bounded worker pool.  Each Run builds a fresh mem.Image, heap, cache
+// hierarchy and core, so runs share no mutable state; the runner
+// exploits that to use every host core while keeping results in
+// deterministic input order.  Experiment drivers declare their spec
+// sets up front and assemble reports from the ordered batch results,
+// which makes report text independent of worker count (see
+// TestParallelSerialIdenticalReports).
+
+// RunItem is one slot of a batch result: the run outcome, or the error
+// that spec produced.  A failed spec does not abort the batch; the
+// other slots are still filled.
+type RunItem struct {
+	Result Result
+	Err    error
+}
+
+// DecompItem is one slot of a decomposition batch result.
+type DecompItem struct {
+	Decomp Decomposition
+	Err    error
+}
+
+// normWorkers resolves a worker-count request: values <= 0 select
+// GOMAXPROCS, and the pool never exceeds the number of jobs.
+func normWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunBatch executes every spec and returns the results in input order.
+// At most workers simulations run concurrently (workers <= 0 selects
+// GOMAXPROCS).  Errors are captured per slot rather than aborting the
+// batch.
+func RunBatch(specs []Spec, workers int) []RunItem {
+	out := make([]RunItem, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	workers = normWorkers(workers, len(specs))
+	if workers == 1 {
+		for i, s := range specs {
+			out[i].Result, out[i].Err = Run(s)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i].Result, out[i].Err = Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// DecomposeBatch runs the compute/memory-stall decomposition of every
+// spec and returns the results in input order.  Each decomposition's
+// two passes (realistic and perfect data memory) are independent
+// simulations, so the batch flattens them into a single 2n-run pool:
+// the pair for spec i occupies slots 2i (realistic) and 2i+1 (perfect),
+// giving the worker pool twice the parallelism of the spec list without
+// oversubscribing the host.
+func DecomposeBatch(specs []Spec, workers int) []DecompItem {
+	out := make([]DecompItem, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	flat := make([]Spec, 0, 2*len(specs))
+	for _, s := range specs {
+		flat = append(flat, s, perfectSpec(s))
+	}
+	runs := RunBatch(flat, workers)
+	for i := range specs {
+		full, perfect := runs[2*i], runs[2*i+1]
+		if full.Err != nil {
+			out[i].Err = full.Err
+			continue
+		}
+		if perfect.Err != nil {
+			out[i].Err = perfect.Err
+			continue
+		}
+		out[i].Decomp = Decomposition{
+			Total:   full.Result.CPU.Cycles,
+			Compute: perfect.Result.CPU.Cycles,
+			Full:    full.Result,
+		}
+	}
+	return out
+}
+
+// firstErr returns the first captured error of a batch, preserving the
+// fail-fast contract of the experiment drivers.
+func firstErr(items []RunItem) error {
+	for _, it := range items {
+		if it.Err != nil {
+			return it.Err
+		}
+	}
+	return nil
+}
+
+// firstDecompErr is firstErr for decomposition batches.
+func firstDecompErr(items []DecompItem) error {
+	for _, it := range items {
+		if it.Err != nil {
+			return it.Err
+		}
+	}
+	return nil
+}

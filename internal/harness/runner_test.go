@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/olden"
+)
+
+func testSpec(bench string, scheme core.Scheme) Spec {
+	return Spec{
+		Bench:  bench,
+		Params: olden.Params{Scheme: scheme, Size: olden.SizeTest},
+	}
+}
+
+func TestRunBatchMatchesRun(t *testing.T) {
+	specs := []Spec{
+		testSpec("health", core.SchemeNone),
+		testSpec("health", core.SchemeCooperative),
+		testSpec("treeadd", core.SchemeSoftware),
+		testSpec("mst", core.SchemeDBP),
+	}
+	items := RunBatch(specs, 0)
+	if len(items) != len(specs) {
+		t.Fatalf("got %d items for %d specs", len(items), len(specs))
+	}
+	for i, spec := range specs {
+		want, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items[i].Err != nil {
+			t.Fatalf("slot %d: %v", i, items[i].Err)
+		}
+		got := items[i].Result
+		if got.Spec.Bench != spec.Bench {
+			t.Errorf("slot %d: result for %q, want %q (ordering broken)",
+				i, got.Spec.Bench, spec.Bench)
+		}
+		if got.CPU.Cycles != want.CPU.Cycles || got.Cache.L1DMisses != want.Cache.L1DMisses {
+			t.Errorf("slot %d (%s/%v): batch %d cycles, serial %d",
+				i, spec.Bench, spec.Params.Scheme, got.CPU.Cycles, want.CPU.Cycles)
+		}
+	}
+}
+
+func TestRunBatchCapturesErrorsPerSlot(t *testing.T) {
+	specs := []Spec{
+		testSpec("health", core.SchemeNone),
+		testSpec("no-such-bench", core.SchemeNone),
+		testSpec("treeadd", core.SchemeNone),
+	}
+	items := RunBatch(specs, 2)
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Fatalf("good specs errored: %v / %v", items[0].Err, items[2].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("bad spec did not error")
+	}
+	if items[0].Result.CPU.Cycles == 0 || items[2].Result.CPU.Cycles == 0 {
+		t.Fatal("a failed spec starved its batch neighbours")
+	}
+	if err := firstErr(items); err == nil {
+		t.Fatal("firstErr missed the captured error")
+	}
+}
+
+func TestRunBatchEmptyAndWorkerClamping(t *testing.T) {
+	if items := RunBatch(nil, 4); len(items) != 0 {
+		t.Fatalf("empty batch returned %d items", len(items))
+	}
+	// More workers than jobs, and negative workers, must both work.
+	for _, workers := range []int{-1, 1, 64} {
+		items := RunBatch([]Spec{testSpec("health", core.SchemeNone)}, workers)
+		if items[0].Err != nil || items[0].Result.CPU.Cycles == 0 {
+			t.Fatalf("workers=%d: %+v", workers, items[0].Err)
+		}
+	}
+}
+
+func TestDecomposeBatchMatchesDecompose(t *testing.T) {
+	specs := []Spec{
+		testSpec("health", core.SchemeNone),
+		testSpec("treeadd", core.SchemeCooperative),
+	}
+	items := DecomposeBatch(specs, 0)
+	if err := firstDecompErr(items); err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		want, err := Decompose(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := items[i].Decomp
+		if got.Total != want.Total || got.Compute != want.Compute {
+			t.Errorf("slot %d: batch total=%d compute=%d, serial total=%d compute=%d",
+				i, got.Total, got.Compute, want.Total, want.Compute)
+		}
+	}
+}
+
+func TestDecomposeBatchCapturesErrors(t *testing.T) {
+	items := DecomposeBatch([]Spec{
+		testSpec("nope", core.SchemeNone),
+		testSpec("health", core.SchemeNone),
+	}, 0)
+	if items[0].Err == nil {
+		t.Fatal("bad spec did not error")
+	}
+	if items[1].Err != nil {
+		t.Fatalf("good spec errored: %v", items[1].Err)
+	}
+	if firstDecompErr(items) == nil {
+		t.Fatal("firstDecompErr missed the captured error")
+	}
+}
+
+// TestParallelSerialIdenticalReports is the determinism contract of the
+// batch runner: every experiment driver must produce byte-identical
+// report text whether its simulations run serially or on every host
+// core.  Each Run builds a fresh mem.Image and cache.Hierarchy, so any
+// divergence here is a shared-state bug.
+func TestParallelSerialIdenticalReports(t *testing.T) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 4
+	}
+	for _, e := range Experiments() {
+		serialCfg := ExpConfig{Size: olden.SizeTest, Workers: 1}
+		parallelCfg := ExpConfig{Size: olden.SizeTest, Workers: parallel}
+		serial, err := e.Fn(serialCfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.ID, err)
+		}
+		par, err := e.Fn(parallelCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.ID, err)
+		}
+		if serial.Text == "" {
+			t.Errorf("%s: empty report", e.ID)
+		}
+		if serial.Text != par.Text {
+			t.Errorf("%s: parallel (j=%d) report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				e.ID, parallel, serial.Text, par.Text)
+		}
+	}
+}
