@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"repro/internal/cache"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/dbp"
 	"repro/internal/harness"
 	"repro/internal/olden"
+	"repro/internal/stats"
 )
 
 // The benchmarks below regenerate each of the paper's evaluation
@@ -308,4 +311,105 @@ func BenchmarkAblationAdaptiveInterval(b *testing.B) {
 	b.Run("adaptive/lat70", func(b *testing.B) { run(b, true, 70) })
 	b.Run("fixed8/lat280", func(b *testing.B) { run(b, false, 280) })
 	b.Run("adaptive/lat280", func(b *testing.B) { run(b, true, 280) })
+}
+
+// benchDoc is the BENCH_jpp.json layout: the per-run stats snapshots
+// plus a speedup summary keyed bench -> scheme.  The snapshots field
+// name is part of the schema contract — stats.ParseSnapshots (and so
+// `jppreport -stats BENCH_jpp.json`) unwraps it directly.
+type benchDoc struct {
+	Version    int                           `json:"version"`
+	Size       string                        `json:"size"`
+	Snapshots  []stats.Snapshot              `json:"snapshots"`
+	SpeedupPct map[string]map[string]float64 `json:"speedup_pct"`
+}
+
+// TestEmitBenchJSON regenerates BENCH_jpp.json at the repo root: every
+// scheme over a benchmark set, with each run's validated stats snapshot
+// and the speedup-over-baseline summary.  Short mode covers the whole
+// suite at the test size (the CI smoke run); the default run uses the
+// small inputs on the flagship benchmarks, where the paper's effects
+// are visible.
+func TestEmitBenchJSON(t *testing.T) {
+	size := benchSize
+	benches := []string{"health", "mst", "perimeter", "treeadd", "em3d"}
+	if testing.Short() {
+		size = olden.SizeTest
+		benches = benches[:0]
+		for _, bm := range olden.All() {
+			benches = append(benches, bm.Name)
+		}
+	}
+
+	var specs []harness.Spec
+	for _, bench := range benches {
+		for _, scheme := range core.Schemes() {
+			specs = append(specs, harness.Spec{
+				Bench:  bench,
+				Params: olden.Params{Scheme: scheme, Size: size},
+			})
+		}
+	}
+	items := harness.RunBatch(specs, 0)
+
+	doc := benchDoc{
+		Version:    stats.SchemaVersion,
+		Size:       size.String(),
+		SpeedupPct: make(map[string]map[string]float64),
+	}
+	baseline := make(map[string]uint64)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("%s/%v: %v", specs[i].Bench, specs[i].Params.Scheme, it.Err)
+		}
+		snap := it.Result.Stats
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("%s/%v: %v", specs[i].Bench, specs[i].Params.Scheme, err)
+		}
+		doc.Snapshots = append(doc.Snapshots, snap)
+		if specs[i].Params.Scheme == core.SchemeNone {
+			baseline[specs[i].Bench] = snap.Cycles
+		}
+	}
+	for i, it := range items {
+		spec := specs[i]
+		base, cycles := baseline[spec.Bench], it.Result.Stats.Cycles
+		if spec.Params.Scheme == core.SchemeNone || base == 0 || cycles == 0 {
+			continue
+		}
+		m := doc.SpeedupPct[spec.Bench]
+		if m == nil {
+			m = make(map[string]float64)
+			doc.SpeedupPct[spec.Bench] = m
+		}
+		m[spec.Params.Scheme.String()] = 100 * (float64(base)/float64(cycles) - 1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_jpp.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: the emitted file must be consumable through the same
+	// entry point jppreport uses, with every snapshot still valid.
+	raw, err := os.ReadFile("BENCH_jpp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := stats.ParseSnapshots(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(specs) {
+		t.Fatalf("BENCH_jpp.json holds %d snapshots, want %d", len(snaps), len(specs))
+	}
+	for i, s := range snaps {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	t.Logf("wrote BENCH_jpp.json: %d snapshots (%s size), %d benches", len(snaps), doc.Size, len(benches))
 }

@@ -7,6 +7,9 @@
 //	jppreport -size small     # faster, smaller inputs
 //	jppreport -bench health   # restrict to one benchmark
 //	jppreport -j 4            # cap concurrent simulations (0 = all cores)
+//	jppreport -stats a.json,b.json  # render the Fig. 6-style cycle
+//	                          # attribution table from jppsim -stats-json
+//	                          # snapshots instead of running simulations
 package main
 
 import (
@@ -18,7 +21,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/harness"
 	"repro/internal/olden"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -33,13 +38,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("jppreport", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "", "experiment id (default: all); one of "+strings.Join(repro.ExperimentIDs(), ","))
-		size  = fs.String("size", "full", "test|small|full")
-		bench = fs.String("bench", "", "restrict to a comma-separated benchmark list")
-		jobs  = fs.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		exp       = fs.String("exp", "", "experiment id (default: all); one of "+strings.Join(repro.ExperimentIDs(), ","))
+		size      = fs.String("size", "full", "test|small|full")
+		bench     = fs.String("bench", "", "restrict to a comma-separated benchmark list")
+		jobs      = fs.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		statsList = fs.String("stats", "", "render the attribution table from comma-separated stats-JSON files (no simulations)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *statsList != "" {
+		return renderStats(strings.Split(*statsList, ","), out)
 	}
 
 	cfg := repro.ExpConfig{Workers: *jobs}
@@ -70,5 +80,34 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, rep.Text)
 		fmt.Fprintf(out, "[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// renderStats loads jppsim -stats-json snapshots (single objects or
+// arrays, e.g. BENCH_jpp.json) from the named files, validates each
+// against the schema's accounting invariants, and prints one combined
+// Fig. 6-style attribution table.
+func renderStats(paths []string, out io.Writer) error {
+	var snaps []stats.Snapshot
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		got, err := stats.ParseSnapshots(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for i, s := range got {
+			if err := s.Validate(); err != nil {
+				return fmt.Errorf("%s[%d]: %w", path, i, err)
+			}
+		}
+		snaps = append(snaps, got...)
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no snapshots in %v", paths)
+	}
+	fmt.Fprint(out, harness.RenderAttribution(snaps))
 	return nil
 }

@@ -4,12 +4,18 @@
 // Usage:
 //
 //	jppsim -bench health -scheme coop [-idiom chain] [-size full]
-//	       [-interval 8] [-memlat 70] [-split]
+//	       [-interval 8] [-memlat 70] [-split] [-stats-json]
+//
+// -stats-json replaces the text block with the versioned stats snapshot
+// (cycle attribution, prefetch coverage/accuracy/timeliness, cache
+// counters); pipe it to `jppreport -stats` for the attribution table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,17 +23,29 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jppsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		bench    = flag.String("bench", "health", "benchmark name (see -list)")
-		scheme   = flag.String("scheme", "none", "none|dbp|sw|coop|hw")
-		idiom    = flag.String("idiom", "", "queue|full|chain|root (default: representative)")
-		size     = flag.String("size", "full", "test|small|full")
-		interval = flag.Int("interval", 0, "jump-pointer interval (0 = 8)")
-		memlat   = flag.Int("memlat", 0, "main memory latency override")
-		split    = flag.Bool("split", false, "also run the compute-time decomposition")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
+		bench     = fs.String("bench", "health", "benchmark name (see -list)")
+		scheme    = fs.String("scheme", "none", "none|dbp|sw|coop|hw")
+		idiom     = fs.String("idiom", "", "queue|full|chain|root (default: representative)")
+		size      = fs.String("size", "full", "test|small|full")
+		interval  = fs.Int("interval", 0, "jump-pointer interval (0 = 8)")
+		memlat    = fs.Int("memlat", 0, "main memory latency override")
+		split     = fs.Bool("split", false, "also run the compute-time decomposition")
+		statsJSON = fs.Bool("stats-json", false, "emit the versioned stats snapshot as JSON")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, b := range repro.Benchmarks() {
@@ -35,10 +53,10 @@ func main() {
 			for i, id := range b.Idioms {
 				idioms[i] = id.String()
 			}
-			fmt.Printf("%-10s %-55s idioms=%s passes=%d\n",
+			fmt.Fprintf(out, "%-10s %-55s idioms=%s passes=%d\n",
 				b.Name, b.Description, strings.Join(idioms, ","), b.Traversals)
 		}
-		return
+		return nil
 	}
 
 	cfg := repro.Config{
@@ -48,62 +66,91 @@ func main() {
 	}
 	var err error
 	if cfg.Scheme, err = parseScheme(*scheme); err != nil {
-		fatal(err)
+		return err
 	}
 	if cfg.Idiom, err = parseIdiom(*idiom); err != nil {
-		fatal(err)
+		return err
 	}
 	if cfg.Size, err = parseSize(*size); err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *split {
 		d, err := repro.Split(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		printResult(d.Full)
+		if *statsJSON {
+			return printStatsJSON(out, d.Full)
+		}
+		printResult(out, d.Full)
 		memShare := "n/a"
 		if d.Total > 0 {
 			memShare = fmt.Sprintf("%.0f%%", 100*float64(d.Memory())/float64(d.Total))
 		}
-		fmt.Printf("\ndecomposition: total=%d compute=%d memory=%d (%s memory stall)\n",
+		fmt.Fprintf(out, "\ndecomposition: total=%d compute=%d memory=%d (%s memory stall)\n",
 			d.Total, d.Compute, d.Memory(), memShare)
-		return
+		return nil
 	}
 	res, err := repro.Simulate(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	printResult(res)
+	if *statsJSON {
+		return printStatsJSON(out, res)
+	}
+	printResult(out, res)
+	return nil
 }
 
-func printResult(r repro.Result) {
-	fmt.Printf("bench=%s scheme=%v size=%v\n", r.Spec.Bench, r.Spec.Params.Scheme, r.Spec.Params.Size)
-	fmt.Printf("cycles            %d\n", r.CPU.Cycles)
-	fmt.Printf("instructions      %d (orig %d + prefetch overhead %d)\n",
+// printStatsJSON emits the run's versioned snapshot, validating it
+// first so a broken invariant can never slip out as plausible JSON.
+func printStatsJSON(out io.Writer, r repro.Result) error {
+	if err := r.Stats.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r.Stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
+}
+
+func printResult(out io.Writer, r repro.Result) {
+	fmt.Fprintf(out, "bench=%s scheme=%v size=%v\n", r.Spec.Bench, r.Spec.Params.Scheme, r.Spec.Params.Size)
+	fmt.Fprintf(out, "cycles            %d\n", r.CPU.Cycles)
+	fmt.Fprintf(out, "instructions      %d (orig %d + prefetch overhead %d)\n",
 		r.CPU.Insts, r.Insts.OrigInsts, r.Insts.OvhdInsts)
-	fmt.Printf("IPC               %.3f\n", r.CPU.IPC())
+	fmt.Fprintf(out, "IPC               %.3f\n", r.CPU.IPC())
 	missRate := "n/a"
 	if r.Cache.L1DAccesses > 0 {
 		missRate = fmt.Sprintf("%.1f%%",
 			100*float64(r.Cache.L1DMisses)/float64(r.Cache.L1DAccesses))
 	}
-	fmt.Printf("L1D               %d accesses, %d misses (%s)\n",
+	fmt.Fprintf(out, "L1D               %d accesses, %d misses (%s)\n",
 		r.Cache.L1DAccesses, r.Cache.L1DMisses, missRate)
-	fmt.Printf("L2                %d accesses, %d misses\n", r.Cache.L2Accesses, r.Cache.L2Misses)
-	fmt.Printf("LDS load misses   %d (other %d), avg in-flight %.2f\n",
+	fmt.Fprintf(out, "L2                %d accesses, %d misses\n", r.Cache.L2Accesses, r.Cache.L2Misses)
+	fmt.Fprintf(out, "LDS load misses   %d (other %d), avg in-flight %.2f\n",
 		r.CPU.LDSLoadMiss, r.CPU.OtherMiss, r.CPU.AvgMissOverlap())
-	fmt.Printf("L1<->L2 traffic   %d bytes (%.2f per orig inst)\n",
+	fmt.Fprintf(out, "L1<->L2 traffic   %d bytes (%.2f per orig inst)\n",
 		r.Cache.L1L2Bytes, float64(r.Cache.L1L2Bytes)/float64(r.Insts.OrigInsts))
-	fmt.Printf("branches          %d cond, %d mispredicted\n",
+	fmt.Fprintf(out, "branches          %d cond, %d mispredicted\n",
 		r.Bpred.CondBranches, r.Bpred.Mispredicts)
+	b := r.Stats.CyclesByCategory
+	fmt.Fprintf(out, "cycle breakdown   busy=%d fstall=%d wfull=%d ldmiss=%d bus=%d other=%d\n",
+		b.Busy, b.FetchStall, b.WindowFull, b.LoadMiss, b.BusContention, b.Other)
+	if p := r.Stats.Prefetch; p.Issued > 0 {
+		fmt.Fprintf(out, "prefetches        %d issued: %d timely, %d late, %d useless, %d evicted (cov %.2f acc %.2f timely %.2f)\n",
+			p.Issued, p.UsefulTimely, p.UsefulLate, p.Useless, p.EvictedUnused,
+			p.Derived.Coverage, p.Derived.Accuracy, p.Derived.Timeliness)
+	}
 	if r.Engine != nil {
-		fmt.Printf("prefetch engine   issued=%d usefulPBhits=%d trained=%d prqDrops=%d\n",
+		fmt.Fprintf(out, "prefetch engine   issued=%d usefulPBhits=%d trained=%d prqDrops=%d\n",
 			r.Engine.IssuedPrefetch, r.Cache.PBHits, r.Engine.Trained, r.Engine.PRQDrops)
 	}
 	if r.HW != nil {
-		fmt.Printf("hardware JPP      recurrentPCs=%d jpStores=%d jpLaunches=%d\n",
+		fmt.Fprintf(out, "hardware JPP      recurrentPCs=%d jpStores=%d jpLaunches=%d\n",
 			r.HW.RecurrentPCs, r.HW.JPStores, r.HW.JPLaunches)
 	}
 }
@@ -150,9 +197,4 @@ func parseSize(s string) (repro.Size, error) {
 		return repro.SizeFull, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jppsim:", err)
-	os.Exit(1)
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/stats"
 )
 
 func TestParseScheme(t *testing.T) {
@@ -84,6 +86,70 @@ func TestParseSize(t *testing.T) {
 	for _, bad := range []string{"", "tiny", "FULL"} {
 		if _, err := parseSize(bad); err == nil {
 			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "health", "-scheme", "coop", "-size", "test", "-stats-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := stats.ParseSnapshots([]byte(out.String()))
+	if err != nil {
+		t.Fatalf("output is not a stats snapshot: %v\n%s", err, out.String())
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	s := snaps[0]
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bench != "health" || s.Scheme != "coop" || s.Size != "test" {
+		t.Errorf("snapshot misidentifies the run: %s/%s/%s", s.Bench, s.Scheme, s.Size)
+	}
+	if s.Cycles == 0 {
+		t.Error("snapshot has zero cycles")
+	}
+}
+
+func TestRunStatsJSONWithSplit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "treeadd", "-scheme", "none", "-size", "test", "-split", "-stats-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := stats.ParseSnapshots([]byte(out.String()))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("split -stats-json output unparseable: %v", err)
+	}
+	if err := snaps[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTextModeIncludesBreakdown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "health", "-scheme", "coop", "-size", "test"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cycle breakdown", "busy=", "ldmiss=", "prefetches"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-scheme", "warp"},
+		{"-idiom", "ribs"},
+		{"-size", "enormous"},
+		{"-bench", "nosuch", "-size", "test"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/stats"
+
 // Params configures the memory hierarchy.  Defaults() returns the
 // paper's Table 2 machine.
 type Params struct {
@@ -142,6 +144,11 @@ type Hierarchy struct {
 
 	distinct map[uint32]struct{}
 
+	// tr follows every prefetch request (KPref from any source) to its
+	// outcome; AccessData is the single choke point, so this one
+	// tracker sees software, DBP and hardware-JPP prefetches alike.
+	tr *stats.Tracker
+
 	s Stats
 }
 
@@ -159,6 +166,7 @@ func New(p Params) *Hierarchy {
 		mshr:     make([]uint64, p.MSHRs),
 		inflight: make(map[uint32]uint64),
 		distinct: make(map[uint32]struct{}),
+		tr:       stats.NewTracker(),
 	}
 	if p.EnablePB {
 		h.pb = newCache(p.PB)
@@ -287,7 +295,14 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 			h.l1d.setDirty(addr)
 		}
 		if kind == KPref {
+			h.tr.PrefetchIssued(line, done, true)
 			return Result{Done: done, Dropped: true}
+		}
+		if demand {
+			// A resident line may still carry an unconsumed prefetch
+			// (direct L1 fills when the PB is disabled); first touch
+			// consumes it.
+			h.tr.Demand(line, now, false)
 		}
 		res.Done = done
 		return res
@@ -304,14 +319,19 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 			}
 		}
 		if kind == KPref {
+			h.tr.PrefetchIssued(line, done, true)
 			return Result{Done: done, Dropped: true}
 		}
 		// A used prefetch: install into the L1 and retire the PB copy.
 		h.s.PBHits++
 		h.s.PBHitWaitSum += done - (now + 1)
+		h.tr.Demand(line, now, false)
 		h.pb.invalidate(addr)
-		if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
-			h.writebackL1(done, victim)
+		if victim, dirty, ok := h.l1d.fill(addr); ok {
+			h.tr.Evicted(h.l1d.lineAddr(victim))
+			if dirty {
+				h.writebackL1(done, victim)
+			}
 		}
 		if kind == KStore || kind == KJPStore {
 			h.l1d.setDirty(addr)
@@ -326,11 +346,15 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	// Merge with an in-flight fill of the same line.
 	if d, ok := h.inflight[line]; ok && d > now {
 		if kind == KPref {
+			h.tr.PrefetchIssued(line, d, true)
 			return Result{Done: d, MissL1: true, Dropped: true}
 		}
 		// The line is being filled (into L1 or PB); tags were installed
 		// eagerly, but a second structure may need the line too.  Keep
 		// it simple: the requester just waits for the fill.
+		if demand {
+			h.tr.Demand(line, now, true)
+		}
 		res.Done = d
 		return res
 	}
@@ -344,18 +368,30 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	if kind == KPref {
 		h.s.PBFills++
 		if h.pb != nil {
-			h.pb.fill(addr)
+			if victim, _, ok := h.pb.fill(addr); ok {
+				h.tr.Evicted(h.l1d.lineAddr(victim))
+			}
 		} else {
-			if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
+			if victim, dirty, ok := h.l1d.fill(addr); ok {
+				h.tr.Evicted(h.l1d.lineAddr(victim))
+				if dirty {
+					h.writebackL1(first, victim)
+				}
+			}
+		}
+		h.tr.PrefetchIssued(line, first, false)
+	} else {
+		if victim, dirty, ok := h.l1d.fill(addr); ok {
+			h.tr.Evicted(h.l1d.lineAddr(victim))
+			if dirty {
 				h.writebackL1(first, victim)
 			}
 		}
-	} else {
-		if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
-			h.writebackL1(first, victim)
-		}
 		if kind == KStore || kind == KJPStore {
 			h.l1d.setDirty(addr)
+		}
+		if demand {
+			h.tr.Demand(line, now, true)
 		}
 	}
 	h.inflight[line] = first
@@ -401,6 +437,15 @@ func (h *Hierarchy) AccessInst(now uint64, pc uint32) (uint64, bool) {
 
 // LineBytes returns the L1 data line size.
 func (h *Hierarchy) LineBytes() int { return h.p.L1D.LineBytes }
+
+// PrefetchStats finalizes the prefetch-outcome tracker (retiring any
+// still-pending prefetches as evicted-unused) and returns its counters.
+// Call at end of run; the outcome identity OutcomeTotal()==Issued holds
+// from then on.
+func (h *Hierarchy) PrefetchStats() stats.PrefetchStats {
+	h.tr.Finalize()
+	return h.tr.Stats()
+}
 
 // Stats returns a snapshot of the hierarchy counters.
 func (h *Hierarchy) Stats() Stats {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/ir"
+	"repro/internal/stats"
 )
 
 // PrefetchEngine is the hook through which hardware prefetching
@@ -129,6 +130,10 @@ type Stats struct {
 
 	FetchStallCycles uint64
 	Truncated        bool
+
+	// Attribution charges every simulated cycle to exactly one
+	// category, judged at the commit stage; its Total() equals Cycles.
+	Attribution stats.CycleBreakdown
 }
 
 // AvgMissOverlap returns the average in-flight demand misses observed
@@ -155,6 +160,7 @@ type robEntry struct {
 	issuedAt     uint64
 	issued       bool
 	isMem        bool
+	missL1       bool
 }
 
 // Core is one simulation instance.
@@ -240,6 +246,7 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 	cw := c.cfg.CommitWidth
 	for {
 		// ---- commit ----
+		committed := 0
 		for n := 0; n < cw && c.count > 0; n++ {
 			e := &c.rob[c.head]
 			if !e.issued || e.doneAt > c.now {
@@ -259,6 +266,7 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 			c.head = (c.head + 1) % len(c.rob)
 			c.count--
 			c.headSeq++
+			committed++
 		}
 
 		// ---- deliver load completions to the engine ----
@@ -294,6 +302,10 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 		if done && c.count == 0 {
 			break
 		}
+		// Attribute this cycle before advancing so Attribution.Total()
+		// equals Cycles on every exit path (the final break above skips
+		// both the attribution and the increment).
+		c.s.Attribution.Account(c.classifyCycle(committed))
 		c.now++
 		if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
 			c.s.Truncated = true
@@ -303,6 +315,37 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 	}
 	c.s.Cycles = c.now
 	return c.s
+}
+
+// classifyCycle attributes the current cycle to one stats category,
+// judged at the commit stage after this cycle's pipeline work ran.
+// Precedence: any commit means Busy; an empty window is a front-end
+// stall; otherwise the ROB head explains the stall (it is always
+// operand-ready, so an unissued head is a structural hazard and an
+// issued head is waiting on its own latency).
+func (c *Core) classifyCycle(committed int) stats.Category {
+	if committed > 0 {
+		return stats.CatBusy
+	}
+	if c.count == 0 {
+		return stats.CatFetchStall
+	}
+	e := &c.rob[c.head]
+	if e.issued {
+		if e.isMem && e.missL1 {
+			return stats.CatLoadMiss
+		}
+		if e.isMem && e.doneAt > e.issuedAt+1 {
+			// A memory op that hit but was delayed past the 1-cycle hit
+			// path: TLB, MSHR or bus queuing.
+			return stats.CatBusContention
+		}
+		return stats.CatOther
+	}
+	if c.count >= len(c.rob) {
+		return stats.CatWindowFull
+	}
+	return stats.CatOther
 }
 
 // issue scans the window oldest-first and issues up to IssueWidth ready
@@ -425,6 +468,7 @@ func (c *Core) issueLoad(idx int) {
 		c.s.LoadsFromPB++
 	}
 	if res.MissL1 {
+		e.missL1 = true
 		c.s.DemandMisses++
 		if d.Flags&ir.FLDS != 0 {
 			c.s.LDSLoadMiss++

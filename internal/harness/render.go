@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Bar is one stacked execution-time bar, the unit of the paper's
@@ -78,6 +80,40 @@ func renderBars(title string, groups []BarGroup) string {
 	}
 	sb.WriteString("legend: # compute time, = memory stall time; 1.00 = unoptimized\n")
 	return sb.String()
+}
+
+// RenderAttribution draws the Fig. 6-style cycle-attribution and
+// prefetch-effectiveness table from stats snapshots (one row per run).
+// Cycle categories are shown as percentages of total cycles so the
+// memory-stall story is readable across schemes with different totals.
+func RenderAttribution(snaps []stats.Snapshot) string {
+	pct := func(b stats.CycleBreakdown, c stats.Category) string {
+		return fmt.Sprintf("%5.1f", 100*b.Share(c))
+	}
+	rows := make([][]string, 0, len(snaps))
+	for _, s := range snaps {
+		p := s.Prefetch
+		rows = append(rows, []string{
+			s.Bench, s.Scheme,
+			fmt.Sprintf("%d", s.Cycles),
+			pct(s.CyclesByCategory, stats.CatBusy),
+			pct(s.CyclesByCategory, stats.CatFetchStall),
+			pct(s.CyclesByCategory, stats.CatWindowFull),
+			pct(s.CyclesByCategory, stats.CatLoadMiss),
+			pct(s.CyclesByCategory, stats.CatBusContention),
+			pct(s.CyclesByCategory, stats.CatOther),
+			fmt.Sprintf("%d", p.Issued),
+			fmt.Sprintf("%.2f", p.Derived.Coverage),
+			fmt.Sprintf("%.2f", p.Derived.Accuracy),
+			fmt.Sprintf("%.2f", p.Derived.Timeliness),
+		})
+	}
+	header := []string{
+		"bench", "scheme", "cycles",
+		"busy%", "fstall%", "wfull%", "ldmiss%", "bus%", "other%",
+		"pf", "cov", "acc", "timely",
+	}
+	return renderTable("Cycle attribution and prefetch effectiveness", header, rows)
 }
 
 // renderTable draws rows with aligned columns.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/olden"
+	"repro/internal/stats"
 )
 
 // Spec describes one simulation run.
@@ -42,8 +43,15 @@ type Result struct {
 	Engine *dbp.Stats
 	HW     *core.HWStats
 
-	// Hier exposes the hierarchy for tests and diagnostics.
+	// Stats is the versioned cycle-attribution and
+	// prefetch-effectiveness snapshot (the jppsim -stats-json payload).
+	Stats stats.Snapshot
+
+	// Hier exposes the hierarchy for tests and diagnostics; Heap
+	// exposes the simulated allocator so tests can checksum
+	// architectural state.
 	Hier *cache.Hierarchy
+	Heap *heap.Allocator
 }
 
 // Cycles returns the run's execution time in cycles.
@@ -100,15 +108,16 @@ func Run(spec Spec) (Result, error) {
 
 	gen := ir.NewGen(alloc, bench.Kernel(spec.Params))
 	c := cpu.New(cpuC, hier, pred, eng)
-	stats := c.Run(gen)
+	cpuStats := c.Run(gen)
 
 	res := Result{
 		Spec:  spec,
-		CPU:   stats,
+		CPU:   cpuStats,
 		Cache: hier.Stats(),
 		Insts: gen.Stats(),
 		Bpred: pred.Stats(),
 		Hier:  hier,
+		Heap:  alloc,
 	}
 	if dbpEng != nil {
 		s := dbpEng.Stats()
@@ -120,7 +129,46 @@ func Run(spec Spec) (Result, error) {
 		h := hwEng.HWStats()
 		res.HW = &h
 	}
+	res.Stats = buildSnapshot(&res)
 	return res, nil
+}
+
+// buildSnapshot assembles the versioned stats record from a finished
+// run's counters.  It finalizes the hierarchy's prefetch tracker, so it
+// runs once, after the simulation completes.
+func buildSnapshot(r *Result) stats.Snapshot {
+	p := r.Hier.PrefetchStats()
+	rep := stats.PrefetchReport{
+		PrefetchStats: p,
+		SWIssued:      r.CPU.CommitByCl[ir.Prefetch],
+		Derived:       p.Metrics(),
+	}
+	if r.Engine != nil {
+		rep.EngineIssued = r.Engine.IssuedPrefetch + r.Engine.DroppedPresent
+	}
+	return stats.Snapshot{
+		Version:          stats.SchemaVersion,
+		Bench:            r.Spec.Bench,
+		Scheme:           r.Spec.Params.Scheme.String(),
+		Idiom:            r.Spec.Params.Idiom.String(),
+		Size:             r.Spec.Params.Size.String(),
+		Cycles:           r.CPU.Cycles,
+		Insts:            r.CPU.Insts,
+		IPC:              r.CPU.IPC(),
+		Truncated:        r.CPU.Truncated,
+		CyclesByCategory: r.CPU.Attribution,
+		Prefetch:         rep,
+		Cache: stats.CacheReport{
+			L1DAccesses: r.Cache.L1DAccesses,
+			L1DMisses:   r.Cache.L1DMisses,
+			L2Accesses:  r.Cache.L2Accesses,
+			L2Misses:    r.Cache.L2Misses,
+			PBHits:      r.Cache.PBHits,
+			PBFills:     r.Cache.PBFills,
+			L1L2Bytes:   r.Cache.L1L2Bytes,
+			MemBytes:    r.Cache.MemBytes,
+		},
+	}
 }
 
 // Decomposition splits a configuration's execution time into compute

@@ -11,6 +11,8 @@ package heap
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 
 	"repro/internal/mem"
 )
@@ -230,3 +232,37 @@ func (a *Allocator) TotalBytes() int { return a.totalBytes }
 
 // Image returns the backing memory image.
 func (a *Allocator) Image() *mem.Image { return a.img }
+
+// PayloadChecksum hashes the architectural state of the heap: the
+// address and payload words of every live block, in address order.
+// Block padding is deliberately excluded — the prefetching schemes
+// plant jump pointers there (that is the paper's point), so padding is
+// microarchitectural hint storage, not program state.  Two runs of the
+// same workload must produce identical checksums regardless of
+// prefetching scheme; the differential tests rely on this.
+func (a *Allocator) PayloadChecksum() uint64 {
+	addrs := make([]mem.Addr, 0, len(a.sizes))
+	for addr := range a.sizes {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := fnv.New64a()
+	var buf [4]byte
+	word := func(w uint32) {
+		buf[0] = byte(w)
+		buf[1] = byte(w >> 8)
+		buf[2] = byte(w >> 16)
+		buf[3] = byte(w >> 24)
+		h.Write(buf[:])
+	}
+	for _, addr := range addrs {
+		info := a.sizes[addr]
+		word(uint32(addr))
+		word(info.payload)
+		payloadWords := (info.payload + mem.WordBytes - 1) / mem.WordBytes
+		for off := uint32(0); off < payloadWords; off++ {
+			word(a.img.ReadWord(addr + mem.Addr(off*mem.WordBytes)))
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,137 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// fuzzKernel interprets prog as a tiny program over the Asm surface:
+// every 3 bytes select an operation and its operands.  It exercises the
+// assembler the way real kernels do — dependent values, loads, stores,
+// prefetches, control flow, malloc/free, stack traffic — while keeping
+// every emitted program finite and well-formed (frees only live blocks,
+// pops only pushed values).
+func fuzzKernel(prog []byte) func(*ir.Asm) {
+	const (
+		maxOps    = 2000
+		maxAllocs = 128
+		siteSpan  = 97
+	)
+	return func(a *ir.Asm) {
+		// The generator contract requires at least one instruction.
+		a.Nop(ir.FirstUserSite)
+		vals := []ir.Val{ir.Imm(1)}
+		var blocks []ir.Val
+		pushed := 0
+		v := func(b byte) ir.Val { return vals[int(b)%len(vals)] }
+		ops := 0
+		for i := 0; i+2 < len(prog) && ops < maxOps; i, ops = i+3, ops+1 {
+			op, b1, b2 := prog[i], prog[i+1], prog[i+2]
+			s := ir.FirstUserSite + 1 + int(op)%siteSpan
+			switch op % 12 {
+			case 0:
+				vals = append(vals, a.Alu(s, uint32(b1)|uint32(b2)<<8, v(b1), v(b2)))
+			case 1:
+				vals = append(vals, a.AddImm(s, v(b1), uint32(b2)))
+			case 2:
+				vals = append(vals, a.Load(s, v(b1), uint32(b2%32), 0))
+			case 3:
+				if len(blocks) > 0 {
+					base := blocks[int(b1)%len(blocks)]
+					a.Store(s, base, uint32(b2%2)*4, v(b2))
+				}
+			case 4:
+				a.Prefetch(s, v(b1), uint32(b2%32), 0)
+			case 5:
+				a.Branch(s, b1%2 == 0, ir.FirstUserSite+1+int(b2)%siteSpan, v(b1), v(b2))
+			case 6:
+				a.Jump(s, ir.FirstUserSite+1+int(b2)%siteSpan, 0)
+			case 7:
+				if len(blocks) < maxAllocs {
+					p := a.Malloc(uint32(b1%64) + 1)
+					blocks = append(blocks, p)
+					vals = append(vals, p)
+				}
+			case 8:
+				if len(blocks) > 0 {
+					idx := int(b1) % len(blocks)
+					a.FreeNode(blocks[idx])
+					blocks = append(blocks[:idx], blocks[idx+1:]...)
+				}
+			case 9:
+				a.Push(s, v(b1))
+				pushed++
+			case 10:
+				if pushed > 0 {
+					vals = append(vals, a.Pop(s))
+					pushed--
+				}
+			case 11:
+				vals = append(vals, a.LoadIdx(s, v(b1), v(b2), 4, 0))
+			}
+			if len(vals) > 64 {
+				vals = vals[len(vals)-64:]
+			}
+		}
+		for pushed > 0 {
+			vals = append(vals, a.Pop(ir.FirstUserSite))
+			pushed--
+		}
+	}
+}
+
+// FuzzAsm runs arbitrary programs through the assembler, the stream
+// generator and the full timing core, checking the accounting
+// identities the stats layer guarantees for well-formed kernels hold
+// for adversarial ones too: emitted == committed instructions, every
+// cycle attributed, every prefetch resolved to an outcome.
+func FuzzAsm(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{7, 0, 0, 3, 0, 0, 2, 1, 4, 8, 0, 0})             // malloc/store/load/free
+	f.Add([]byte{7, 9, 9, 4, 1, 7, 5, 2, 6, 9, 1, 1, 10, 0, 0})   // prefetch/branch/stack
+	f.Add([]byte{11, 3, 5, 6, 2, 2, 1, 200, 100, 0, 255, 255, 9}) // jumps, wide operands
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		img := mem.NewImage()
+		alloc := heap.New(img)
+		hier := cache.New(cache.Defaults())
+		pred := bpred.New(bpred.Defaults())
+		cfg := cpu.Defaults()
+		cfg.MaxCycles = 1 << 18 // fuzz programs are tiny; this is a hang guard
+		gen := ir.NewGen(alloc, fuzzKernel(prog))
+		core := cpu.New(cfg, hier, pred, nil)
+		s := core.Run(gen)
+
+		emitted := gen.Stats()
+		if got := emitted.OrigInsts + emitted.OvhdInsts; got != emitted.Total() {
+			t.Fatalf("Stats.Total()=%d but orig+ovhd=%d", emitted.Total(), got)
+		}
+		var byClass uint64
+		for _, n := range emitted.Counts {
+			byClass += n
+		}
+		if byClass != emitted.Total() {
+			t.Fatalf("class counts sum to %d, total %d", byClass, emitted.Total())
+		}
+		if !s.Truncated && s.Insts != emitted.Total() {
+			t.Fatalf("committed %d instructions, emitted %d", s.Insts, emitted.Total())
+		}
+		if got := s.Attribution.Total(); got != s.Cycles {
+			t.Fatalf("cycle attribution sums to %d, want Cycles=%d", got, s.Cycles)
+		}
+		p := hier.PrefetchStats()
+		if p.OutcomeTotal() != p.Issued {
+			t.Fatalf("prefetch outcomes sum to %d, issued %d", p.OutcomeTotal(), p.Issued)
+		}
+		if !s.Truncated && p.Issued != s.CommitByCl[ir.Prefetch] {
+			t.Fatalf("tracker saw %d prefetches, core committed %d",
+				p.Issued, s.CommitByCl[ir.Prefetch])
+		}
+	})
+}

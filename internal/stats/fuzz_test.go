@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSnapshots feeds arbitrary bytes to the snapshot parser (the
+// input side of jppreport -stats and of BENCH_jpp.json consumers): it
+// must never panic, and whatever it accepts must re-marshal cleanly.
+func FuzzParseSnapshots(f *testing.F) {
+	s := Snapshot{Version: SchemaVersion, Bench: "health", Scheme: "coop", Cycles: 10}
+	one, _ := json.Marshal(s)
+	many, _ := json.Marshal([]Snapshot{s, s})
+	f.Add([]byte("{}"))
+	f.Add([]byte("[]"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"version":1,"cycles":"ten"}`))
+	f.Add(one)
+	f.Add(many)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snaps, err := ParseSnapshots(data)
+		if err != nil {
+			return
+		}
+		for _, s := range snaps {
+			_ = s.Validate() // may reject; must not panic
+			if _, err := json.Marshal(s); err != nil {
+				t.Fatalf("accepted snapshot fails to marshal: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestCycleBreakdownAccountTotal(t *testing.T) {
+	var b CycleBreakdown
+	const perCat = 7
+	for c := 0; c < NumCategories; c++ {
+		for i := 0; i < perCat; i++ {
+			b.Account(Category(c))
+		}
+	}
+	if got, want := b.Total(), uint64(perCat*NumCategories); got != want {
+		t.Fatalf("Total() = %d, want %d", got, want)
+	}
+	for c := 0; c < NumCategories; c++ {
+		if got := b.ByCategory(Category(c)); got != perCat {
+			t.Errorf("ByCategory(%v) = %d, want %d", Category(c), got, perCat)
+		}
+		if got, want := b.Share(Category(c)), 1.0/float64(NumCategories); got != want {
+			t.Errorf("Share(%v) = %g, want %g", Category(c), got, want)
+		}
+	}
+}
+
+func TestCategoryAndOutcomeNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumCategories; c++ {
+		n := Category(c).String()
+		if n == "" || seen[n] {
+			t.Errorf("category %d has empty/duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	for o := 0; o < NumOutcomes; o++ {
+		n := Outcome(o).String()
+		if n == "" || seen[n] {
+			t.Errorf("outcome %d has empty/duplicate name %q", o, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	// Timely: fill done at 10, demand at 20.
+	tr.PrefetchIssued(0x100, 10, false)
+	tr.Demand(0x100, 20, true)
+	// Late: fill done at 50, demand at 30.
+	tr.PrefetchIssued(0x200, 50, false)
+	tr.Demand(0x200, 30, true)
+	// Useless: dropped at issue.
+	tr.PrefetchIssued(0x300, 5, true)
+	// Evicted before use.
+	tr.PrefetchIssued(0x400, 15, false)
+	tr.Evicted(0x400)
+	// Never touched: finalized into evicted-unused.
+	tr.PrefetchIssued(0x500, 25, false)
+	// Uncovered demand miss, plus a hit that counts nothing.
+	tr.Demand(0x600, 40, true)
+	tr.Demand(0x700, 41, false)
+	tr.Finalize()
+	tr.Finalize() // idempotent
+
+	p := tr.Stats()
+	want := PrefetchStats{
+		Issued: 5, UsefulTimely: 1, UsefulLate: 1, Useless: 1,
+		EvictedUnused: 2, UncoveredMisses: 1,
+	}
+	if p != want {
+		t.Fatalf("Stats() = %+v, want %+v", p, want)
+	}
+	if p.OutcomeTotal() != p.Issued {
+		t.Fatalf("outcomes %d != issued %d", p.OutcomeTotal(), p.Issued)
+	}
+	if got, want := p.Coverage(), 2.0/3.0; got != want {
+		t.Errorf("Coverage() = %g, want %g", got, want)
+	}
+	if got, want := p.Accuracy(), 2.0/5.0; got != want {
+		t.Errorf("Accuracy() = %g, want %g", got, want)
+	}
+	if got, want := p.Timeliness(), 0.5; got != want {
+		t.Errorf("Timeliness() = %g, want %g", got, want)
+	}
+}
+
+func TestTrackerDoubleIssueKeepsIdentity(t *testing.T) {
+	tr := NewTracker()
+	tr.PrefetchIssued(0x100, 10, false)
+	tr.PrefetchIssued(0x100, 20, false) // same line again, not dropped
+	tr.Demand(0x100, 30, true)
+	tr.Finalize()
+	p := tr.Stats()
+	if p.Issued != 2 || p.OutcomeTotal() != 2 {
+		t.Fatalf("issued=%d outcomes=%d, want 2/2", p.Issued, p.OutcomeTotal())
+	}
+	if p.Useful() != 1 || p.EvictedUnused != 1 {
+		t.Fatalf("useful=%d evicted=%d, want 1/1", p.Useful(), p.EvictedUnused)
+	}
+}
+
+// TestTrackerPropertyRandom drives the tracker with random event
+// sequences and checks the accounting identity and metric ranges hold
+// regardless of ordering.
+func TestTrackerPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		tr := NewTracker()
+		issued := uint64(0)
+		for ev := 0; ev < 500; ev++ {
+			line := uint32(rng.Intn(32)) << 5
+			now := uint64(rng.Intn(1000))
+			switch rng.Intn(4) {
+			case 0:
+				tr.PrefetchIssued(line, now+uint64(rng.Intn(100)), rng.Intn(4) == 0)
+				issued++
+			case 1:
+				tr.Demand(line, now, rng.Intn(2) == 0)
+			case 2:
+				tr.Evicted(line)
+			case 3:
+				// Demand hit on an untracked line: must be a no-op.
+				tr.Demand(line|1<<30, now, false)
+			}
+		}
+		tr.Finalize()
+		p := tr.Stats()
+		if p.Issued != issued {
+			t.Fatalf("trial %d: Issued=%d, want %d", trial, p.Issued, issued)
+		}
+		if p.OutcomeTotal() != p.Issued {
+			t.Fatalf("trial %d: outcomes %d != issued %d", trial, p.OutcomeTotal(), p.Issued)
+		}
+		for name, v := range map[string]float64{
+			"coverage":   p.Coverage(),
+			"accuracy":   p.Accuracy(),
+			"timeliness": p.Timeliness(),
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("trial %d: %s = %g out of range", trial, name, v)
+			}
+		}
+	}
+}
+
+func validSnapshot() Snapshot {
+	p := PrefetchStats{
+		Issued: 10, UsefulTimely: 4, UsefulLate: 2, Useless: 3,
+		EvictedUnused: 1, UncoveredMisses: 6,
+	}
+	s := Snapshot{
+		Version: SchemaVersion,
+		Bench:   "health", Scheme: "coop", Idiom: "queue", Size: "test",
+		Cycles: 100, Insts: 150, IPC: 1.5,
+		CyclesByCategory: CycleBreakdown{Busy: 40, FetchStall: 10, WindowFull: 5, LoadMiss: 30, BusContention: 10, Other: 5},
+		Prefetch:         PrefetchReport{PrefetchStats: p, SWIssued: 4, EngineIssued: 6, Derived: p.Metrics()},
+	}
+	return s
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	if err := validSnapshot().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"version", func(s *Snapshot) { s.Version = 99 }},
+		{"cycle sum", func(s *Snapshot) { s.CyclesByCategory.Busy++ }},
+		{"outcome sum", func(s *Snapshot) { s.Prefetch.Useless++ }},
+		{"metrics", func(s *Snapshot) { s.Prefetch.Derived.Coverage += 0.25 }},
+		{"ipc", func(s *Snapshot) { s.IPC = 3 }},
+	}
+	for _, c := range bad {
+		s := validSnapshot()
+		c.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s corruption accepted", c.name)
+		}
+	}
+}
+
+func TestParseSnapshotsObjectAndArray(t *testing.T) {
+	s := validSnapshot()
+	one, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := json.Marshal([]Snapshot{s, s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshots(one)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("object parse: %v (n=%d)", err, len(got))
+	}
+	if got[0] != s {
+		t.Fatalf("object round-trip mismatch: %+v", got[0])
+	}
+	got, err = ParseSnapshots(many)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("array parse: %v (n=%d)", err, len(got))
+	}
+	wrapped, err := json.Marshal(map[string]any{
+		"version": SchemaVersion, "snapshots": []Snapshot{s, s, s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseSnapshots(wrapped)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("wrapper parse (BENCH_jpp.json shape): %v (n=%d)", err, len(got))
+	}
+	if got[2] != s {
+		t.Fatalf("wrapper round-trip mismatch: %+v", got[2])
+	}
+	if _, err := ParseSnapshots([]byte("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+// Tracker follows every prefetch request from issue to outcome at cache
+// line granularity.  The memory hierarchy is the single choke point all
+// prefetch sources go through (software prefetch instructions, the DBP
+// engine, the hardware JPP engine all arrive as KPref accesses), so one
+// tracker per hierarchy sees everything.
+//
+// Lifecycle of a tracked line:
+//
+//	PrefetchIssued(dropped)        -> Useless immediately
+//	PrefetchIssued -> Demand       -> UsefulTimely (fill done) or
+//	                                  UsefulLate   (fill in flight)
+//	PrefetchIssued -> Evicted      -> EvictedUnused
+//	PrefetchIssued -> Finalize     -> EvictedUnused (never touched)
+//
+// Demand accesses that miss L1 with no tracked prefetch pending count
+// as UncoveredMisses — the other half of the coverage denominator.
+type Tracker struct {
+	p PrefetchStats
+
+	// pending maps a line address to the cycle its prefetch fill
+	// completes; presence means a prefetch is outstanding-or-resident
+	// and unconsumed.
+	pending map[uint32]uint64
+
+	finalized bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{pending: make(map[uint32]uint64)}
+}
+
+// PrefetchIssued records one prefetch request for line.  done is the
+// cycle the fill completes; dropped marks requests the hierarchy
+// discarded because the line was already resident or in flight.
+func (t *Tracker) PrefetchIssued(line uint32, done uint64, dropped bool) {
+	t.p.Issued++
+	if dropped {
+		t.p.add(OutUseless)
+		return
+	}
+	if _, ok := t.pending[line]; ok {
+		// A prior prefetch for the same line is still pending; the
+		// hierarchy should have dropped this one, but keep the outcome
+		// identity exact by retiring the older request as never-used.
+		t.p.add(OutEvictedUnused)
+	}
+	t.pending[line] = done
+}
+
+// Demand records a demand access to line at cycle now.  missL1 is true
+// when the access missed the L1 level (L1D and prefetch buffer both).
+// A pending prefetch for the line is consumed and classified timely or
+// late by whether its fill had completed by now.
+func (t *Tracker) Demand(line uint32, now uint64, missL1 bool) {
+	if done, ok := t.pending[line]; ok {
+		delete(t.pending, line)
+		if done <= now {
+			t.p.add(OutUsefulTimely)
+		} else {
+			t.p.add(OutUsefulLate)
+		}
+		return
+	}
+	if missL1 {
+		t.p.UncoveredMisses++
+	}
+}
+
+// Evicted records that line left the L1 level (L1D or prefetch buffer
+// victim).  An unconsumed prefetch of that line becomes EvictedUnused.
+func (t *Tracker) Evicted(line uint32) {
+	if _, ok := t.pending[line]; ok {
+		delete(t.pending, line)
+		t.p.add(OutEvictedUnused)
+	}
+}
+
+// Finalize retires every still-pending prefetch as EvictedUnused (the
+// run ended before a demand access touched them).  Idempotent.
+func (t *Tracker) Finalize() {
+	if t.finalized {
+		return
+	}
+	t.finalized = true
+	for line := range t.pending {
+		delete(t.pending, line)
+		t.p.add(OutEvictedUnused)
+	}
+}
+
+// Stats returns the accumulated counters.  Call Finalize first for the
+// outcomes-sum-to-issued identity to hold.
+func (t *Tracker) Stats() PrefetchStats { return t.p }
