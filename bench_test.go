@@ -2,6 +2,7 @@ package repro
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 
@@ -317,11 +318,21 @@ func BenchmarkAblationAdaptiveInterval(b *testing.B) {
 // plus a speedup summary keyed bench -> scheme.  The snapshots field
 // name is part of the schema contract — stats.ParseSnapshots (and so
 // `jppreport -stats BENCH_jpp.json`) unwraps it directly.
+//
+// sim_mips records simulator throughput (millions of simulated
+// instructions per host wall-clock second) per bench -> scheme, with
+// sim_mips_geomean summarizing the suite.  The CI benchmark smoke step
+// asserts the geomean is present and positive after regeneration, which
+// catches gross simulator-speed regressions without a dedicated
+// benchmarking box.  Batch runs share host cores, so these understate
+// serial throughput; BenchmarkCore is the headline measurement.
 type benchDoc struct {
-	Version    int                           `json:"version"`
-	Size       string                        `json:"size"`
-	Snapshots  []stats.Snapshot              `json:"snapshots"`
-	SpeedupPct map[string]map[string]float64 `json:"speedup_pct"`
+	Version        int                           `json:"version"`
+	Size           string                        `json:"size"`
+	Snapshots      []stats.Snapshot              `json:"snapshots"`
+	SpeedupPct     map[string]map[string]float64 `json:"speedup_pct"`
+	SimMIPS        map[string]map[string]float64 `json:"sim_mips"`
+	SimMIPSGeomean float64                       `json:"sim_mips_geomean"`
 }
 
 // TestEmitBenchJSON regenerates BENCH_jpp.json at the repo root: every
@@ -329,16 +340,22 @@ type benchDoc struct {
 // and the speedup-over-baseline summary.  Short mode covers the whole
 // suite at the test size (the CI smoke run); the default run uses the
 // small inputs on the flagship benchmarks, where the paper's effects
-// are visible.
+// are visible, and additionally sweeps the large inputs under the
+// baseline and cooperative schemes — the paper-scale comparison the
+// event-driven core makes affordable (each large run is ~1s).
+// Snapshots are self-describing (bench/scheme/size), so the mixed-size
+// document stays consumable through stats.ParseSnapshots.
 func TestEmitBenchJSON(t *testing.T) {
 	size := benchSize
 	benches := []string{"health", "mst", "perimeter", "treeadd", "em3d"}
+	largeBenches := benches
 	if testing.Short() {
 		size = olden.SizeTest
 		benches = benches[:0]
 		for _, bm := range olden.All() {
 			benches = append(benches, bm.Name)
 		}
+		largeBenches = nil
 	}
 
 	var specs []harness.Spec
@@ -350,14 +367,34 @@ func TestEmitBenchJSON(t *testing.T) {
 			})
 		}
 	}
+	for _, bench := range largeBenches {
+		for _, scheme := range []core.Scheme{core.SchemeNone, core.SchemeCooperative} {
+			specs = append(specs, harness.Spec{
+				Bench:  bench,
+				Params: olden.Params{Scheme: scheme, Size: olden.SizeLarge},
+			})
+		}
+	}
 	items := harness.RunBatch(specs, 0)
+
+	// Summary-map key: plain bench name for the primary sweep, with an
+	// @size suffix for the extra large-input runs so the two sweeps of
+	// the same bench never collide.
+	docKey := func(s harness.Spec) string {
+		if s.Params.Size == size {
+			return s.Bench
+		}
+		return s.Bench + "@" + s.Params.Size.String()
+	}
 
 	doc := benchDoc{
 		Version:    stats.SchemaVersion,
 		Size:       size.String(),
 		SpeedupPct: make(map[string]map[string]float64),
+		SimMIPS:    make(map[string]map[string]float64),
 	}
 	baseline := make(map[string]uint64)
+	logMIPSSum, mipsRuns := 0.0, 0
 	for i, it := range items {
 		if it.Err != nil {
 			t.Fatalf("%s/%v: %v", specs[i].Bench, specs[i].Params.Scheme, it.Err)
@@ -367,20 +404,39 @@ func TestEmitBenchJSON(t *testing.T) {
 			t.Fatalf("%s/%v: %v", specs[i].Bench, specs[i].Params.Scheme, err)
 		}
 		doc.Snapshots = append(doc.Snapshots, snap)
+		key := docKey(specs[i])
 		if specs[i].Params.Scheme == core.SchemeNone {
-			baseline[specs[i].Bench] = snap.Cycles
+			baseline[key] = snap.Cycles
 		}
+		if sec := it.Elapsed.Seconds(); sec > 0 && snap.Insts > 0 {
+			mips := float64(snap.Insts) / sec / 1e6
+			m := doc.SimMIPS[key]
+			if m == nil {
+				m = make(map[string]float64)
+				doc.SimMIPS[key] = m
+			}
+			m[specs[i].Params.Scheme.String()] = mips
+			logMIPSSum += math.Log(mips)
+			mipsRuns++
+		}
+	}
+	if mipsRuns > 0 {
+		doc.SimMIPSGeomean = math.Exp(logMIPSSum / float64(mipsRuns))
+	}
+	if doc.SimMIPSGeomean <= 0 {
+		t.Fatalf("sim_mips_geomean = %v, want > 0", doc.SimMIPSGeomean)
 	}
 	for i, it := range items {
 		spec := specs[i]
-		base, cycles := baseline[spec.Bench], it.Result.Stats.Cycles
+		key := docKey(spec)
+		base, cycles := baseline[key], it.Result.Stats.Cycles
 		if spec.Params.Scheme == core.SchemeNone || base == 0 || cycles == 0 {
 			continue
 		}
-		m := doc.SpeedupPct[spec.Bench]
+		m := doc.SpeedupPct[key]
 		if m == nil {
 			m = make(map[string]float64)
-			doc.SpeedupPct[spec.Bench] = m
+			doc.SpeedupPct[key] = m
 		}
 		m[spec.Params.Scheme.String()] = 100 * (float64(base)/float64(cycles) - 1)
 	}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -14,11 +15,22 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jppchar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jppchar", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		size  = flag.String("size", "full", "test|small|full")
-		bench = flag.String("bench", "", "restrict to a comma-separated benchmark list")
+		size  = fs.String("size", "full", "test|small|full|large")
+		bench = fs.String("bench", "", "restrict to a comma-separated benchmark list")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var sz repro.Size
 	switch *size {
@@ -28,9 +40,10 @@ func main() {
 		sz = repro.SizeSmall
 	case "full":
 		sz = repro.SizeFull
+	case "large":
+		sz = repro.SizeLarge
 	default:
-		fmt.Fprintf(os.Stderr, "jppchar: unknown size %q\n", *size)
-		os.Exit(1)
+		return fmt.Errorf("unknown size %q", *size)
 	}
 
 	names := []string{}
@@ -41,7 +54,7 @@ func main() {
 		names = strings.Split(*bench, ",")
 	}
 
-	fmt.Printf("%-10s %-5s %9s %9s %7s %8s %8s %9s %8s\n",
+	fmt.Fprintf(out, "%-10s %-5s %9s %9s %7s %8s %8s %9s %8s\n",
 		"bench", "schm", "cycles", "insts", "IPC", "L1Dmiss", "L2miss", "B/inst", "footKB")
 	for _, name := range names {
 		for _, scheme := range core.Schemes() {
@@ -49,14 +62,14 @@ func main() {
 				Bench: name, Scheme: scheme, Size: sz,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "jppchar:", err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Printf("%-10s %-5v %9d %9d %7.3f %8d %8d %9.2f %8d\n",
+			fmt.Fprintf(out, "%-10s %-5v %9d %9d %7.3f %8d %8d %9.2f %8d\n",
 				name, scheme, res.CPU.Cycles, res.CPU.Insts, res.CPU.IPC(),
 				res.Cache.L1DMisses, res.Cache.L2Misses,
 				float64(res.Cache.L1L2Bytes)/float64(res.Insts.OrigInsts),
 				res.Cache.DistinctL1Lines*32/1024)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// TestRunCharSmoke runs the characterization dump on one benchmark at
+// the test size and checks the table shape: the header plus one row per
+// scheme, each carrying the bench name.
+func TestRunCharSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "health", "-size", "test"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, col := range []string{"bench", "cycles", "IPC", "L1Dmiss", "footKB"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("header missing column %q:\n%s", col, got)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "health") {
+			rows++
+		}
+	}
+	if want := len(core.Schemes()); rows != want {
+		t.Errorf("want %d scheme rows for health, got %d:\n%s", want, rows, got)
+	}
+}
+
+// TestRunCharBenchList checks the comma-separated -bench filter.
+func TestRunCharBenchList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "treeadd,mst", "-size", "test"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"treeadd", "mst"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing bench %q:\n%s", want, got)
+		}
+	}
+	for _, b := range repro.Benchmarks() {
+		if b.Name == "treeadd" || b.Name == "mst" {
+			continue
+		}
+		if strings.Contains(got, b.Name) {
+			t.Errorf("output includes unrequested bench %q:\n%s", b.Name, got)
+		}
+	}
+}
+
+func TestRunCharRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-size", "enormous"},
+		{"-bench", "nosuch", "-size", "test"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

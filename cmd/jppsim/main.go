@@ -9,6 +9,10 @@
 // -stats-json replaces the text block with the versioned stats snapshot
 // (cycle attribution, prefetch coverage/accuracy/timeliness, cache
 // counters); pipe it to `jppreport -stats` for the attribution table.
+//
+// -cpuprofile/-memprofile write pprof profiles of the simulator itself
+// (not the simulated machine); see EXPERIMENTS.md "Profiling the
+// simulator" for the workflow.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro"
@@ -36,15 +42,43 @@ func run(args []string, out io.Writer) error {
 		bench     = fs.String("bench", "health", "benchmark name (see -list)")
 		scheme    = fs.String("scheme", "none", "none|dbp|sw|coop|hw")
 		idiom     = fs.String("idiom", "", "queue|full|chain|root (default: representative)")
-		size      = fs.String("size", "full", "test|small|full")
+		size      = fs.String("size", "full", "test|small|full|large")
 		interval  = fs.Int("interval", 0, "jump-pointer interval (0 = 8)")
 		memlat    = fs.Int("memlat", 0, "main memory latency override")
 		split     = fs.Bool("split", false, "also run the compute-time decomposition")
 		statsJSON = fs.Bool("stats-json", false, "emit the versioned stats snapshot as JSON")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile of the simulator to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jppsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not GC garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jppsim:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -195,6 +229,8 @@ func parseSize(s string) (repro.Size, error) {
 		return repro.SizeSmall, nil
 	case "full":
 		return repro.SizeFull, nil
+	case "large":
+		return repro.SizeLarge, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
 }

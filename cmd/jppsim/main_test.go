@@ -73,6 +73,7 @@ func TestParseSize(t *testing.T) {
 		{"test", repro.SizeTest},
 		{"small", repro.SizeSmall},
 		{"full", repro.SizeFull},
+		{"large", repro.SizeLarge},
 	}
 	for _, c := range cases {
 		got, err := parseSize(c.in)

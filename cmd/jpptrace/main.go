@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bpred"
@@ -25,6 +26,7 @@ import (
 )
 
 type tracer struct {
+	out         io.Writer
 	skip, count uint64
 	limit       uint64
 }
@@ -51,28 +53,48 @@ func (t *tracer) Trace(d *ir.DynInst, dispatched, issued, done uint64) {
 			extra = " taken"
 		}
 	}
-	fmt.Printf("%8d  pc=%06x %-6s disp=%-9d issue=+%-4d done=+%-4d%s\n",
+	fmt.Fprintf(t.out, "%8d  pc=%06x %-6s disp=%-9d issue=+%-4d done=+%-4d%s\n",
 		d.Seq, d.PC, d.Class, dispatched, issued-dispatched, done-dispatched, extra)
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jpptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jpptrace", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		bench  = flag.String("bench", "health", "benchmark name")
-		scheme = flag.String("scheme", "none", "none|dbp|sw|coop|hw")
-		size   = flag.String("size", "small", "test|small|full")
-		skip   = flag.Uint64("skip", 0, "instructions to skip before tracing")
-		n      = flag.Uint64("n", 50, "instructions to trace")
+		bench  = fs.String("bench", "health", "benchmark name")
+		scheme = fs.String("scheme", "none", "none|dbp|sw|coop|hw")
+		size   = fs.String("size", "small", "test|small|full|large")
+		skip   = fs.Uint64("skip", 0, "instructions to skip before tracing")
+		n      = fs.Uint64("n", 50, "instructions to trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	b, ok := olden.ByName(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "jpptrace: unknown benchmark %q\n", *bench)
-		os.Exit(1)
+		return fmt.Errorf("unknown benchmark %q", *bench)
 	}
-	params := olden.Params{Size: map[string]olden.Size{
-		"test": olden.SizeTest, "small": olden.SizeSmall, "full": olden.SizeFull,
-	}[*size]}
+	var params olden.Params
+	switch *size {
+	case "test":
+		params.Size = olden.SizeTest
+	case "small":
+		params.Size = olden.SizeSmall
+	case "full":
+		params.Size = olden.SizeFull
+	case "large":
+		params.Size = olden.SizeLarge
+	default:
+		return fmt.Errorf("unknown size %q", *size)
+	}
 	switch *scheme {
 	case "none":
 		params.Scheme = core.SchemeNone
@@ -85,8 +107,7 @@ func main() {
 	case "hw":
 		params.Scheme = core.SchemeHardware
 	default:
-		fmt.Fprintf(os.Stderr, "jpptrace: unknown scheme %q\n", *scheme)
-		os.Exit(1)
+		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
 	img := mem.NewImage()
@@ -105,11 +126,12 @@ func main() {
 	}
 
 	cfg := cpu.Defaults()
-	cfg.Tracer = &tracer{skip: *skip, limit: *n}
+	cfg.Tracer = &tracer{out: out, skip: *skip, limit: *n}
 	gen := ir.NewGen(alloc, b.Kernel(params))
 	c := cpu.New(cfg, hier, pred, eng)
-	fmt.Printf("# %s / %s — seq, pc, class, dispatch cycle, issue/done deltas\n", *bench, *scheme)
+	fmt.Fprintf(out, "# %s / %s — seq, pc, class, dispatch cycle, issue/done deltas\n", *bench, *scheme)
 	stats := c.Run(gen)
-	fmt.Printf("# run: %d cycles, %d instructions, IPC %.2f\n",
+	fmt.Fprintf(out, "# run: %d cycles, %d instructions, IPC %.2f\n",
 		stats.Cycles, stats.Insts, stats.IPC())
+	return nil
 }

@@ -1,6 +1,10 @@
 package cache
 
-import "repro/internal/stats"
+import (
+	"math/bits"
+
+	"repro/internal/stats"
+)
 
 // Params configures the memory hierarchy.  Defaults() returns the
 // paper's Table 2 machine.
@@ -136,13 +140,25 @@ type Hierarchy struct {
 
 	mshr []uint64 // per-entry next-free cycle
 
-	// inflight maps an L1-line address to the cycle its fill completes.
-	// Tags are installed eagerly at request time; inflight supplies the
-	// true data-ready time and merges secondary misses.
-	inflight     map[uint32]uint64
-	inflightSeen uint64
+	// inflight records L1-line fills whose data is still on its way
+	// (one entry per line; see findInflight).  Tags are installed
+	// eagerly at request time; inflight supplies the true data-ready
+	// time and merges secondary misses.  The table is open-addressed
+	// with linear probing and backward-shift deletion: lookups are a
+	// probe of a few slots rather than a scan of every outstanding
+	// fill, and completed entries are reclaimed by the probes that
+	// step over them.
+	inflight      []inflightFill
+	inflightN     int
+	inflightShift uint
 
-	distinct map[uint32]struct{}
+	// distinct is a two-level bitmap over L1-line indices recording
+	// every line demand accesses ever touched (the Table 1 footprint
+	// metric).  Leaves allocate lazily, 4 KiB per 1 MiB of touched
+	// address space.
+	distinct      [][]uint64
+	distinctCount int
+	lineShift     uint
 
 	// tr follows every prefetch request (KPref from any source) to its
 	// outcome; AccessData is the single choke point, so this one
@@ -152,8 +168,28 @@ type Hierarchy struct {
 	s Stats
 }
 
+// inflightFill is one in-flight L1-level line fill (a slot of the
+// open-addressed inflight table).
+type inflightFill struct {
+	done uint64
+	line uint32
+	used bool
+}
+
+// inflightInitSlots is the inflight table's starting capacity; it
+// doubles whenever half full.
+const inflightInitSlots = 256
+
+// distinctLeafBits sizes the distinct-line bitmap leaves: each leaf
+// covers 2^distinctLeafBits consecutive line indices.
+const distinctLeafBits = 15
+
 // New builds a hierarchy.
 func New(p Params) *Hierarchy {
+	lineShift := uint(0)
+	for 1<<lineShift < p.L1D.LineBytes {
+		lineShift++
+	}
 	h := &Hierarchy{
 		p:        p,
 		l1i:      newCache(p.L1I),
@@ -164,14 +200,131 @@ func New(p Params) *Hierarchy {
 		l1l2Bus:  NewBus(p.ChunkBytes, p.L1L2ChunkCycles),
 		memBus:   NewBus(p.ChunkBytes, p.MemChunkCycles),
 		mshr:     make([]uint64, p.MSHRs),
-		inflight: make(map[uint32]uint64),
-		distinct: make(map[uint32]struct{}),
-		tr:       stats.NewTracker(),
+		inflight: make([]inflightFill, inflightInitSlots),
+		// 32-bit hash >> shift indexes the table: shift = 32 - log2(slots).
+		inflightShift: 32 - uint(bits.Len(uint(inflightInitSlots-1))),
+		distinct:      make([][]uint64, 1<<(32-lineShift-distinctLeafBits)),
+		lineShift:     lineShift,
+		tr:            stats.NewTracker(),
 	}
 	if p.EnablePB {
 		h.pb = newCache(p.PB)
 	}
 	return h
+}
+
+// markDistinct records a demand touch of line for the footprint metric.
+func (h *Hierarchy) markDistinct(line uint32) {
+	idx := line >> h.lineShift
+	leaf := h.distinct[idx>>distinctLeafBits]
+	if leaf == nil {
+		leaf = make([]uint64, (1<<distinctLeafBits)/64)
+		h.distinct[idx>>distinctLeafBits] = leaf
+	}
+	bit := idx & (1<<distinctLeafBits - 1)
+	w := &leaf[bit>>6]
+	m := uint64(1) << (bit & 63)
+	if *w&m == 0 {
+		*w |= m
+		h.distinctCount++
+	}
+}
+
+// inflightHome is line's preferred slot in the inflight table.
+func (h *Hierarchy) inflightHome(line uint32) int {
+	return int((line * 0x9E3779B1) >> h.inflightShift)
+}
+
+// findInflight returns the table slot of line's in-flight fill, or -1.
+// Fills that completed at or before now are reclaimed as the probe
+// steps over them, which is unobservable: every consumer compares the
+// entry's done time against a deadline >= now, and the original map
+// deleted such entries lazily on the same paths.
+func (h *Hierarchy) findInflight(now uint64, line uint32) int {
+	i := h.inflightHome(line)
+	for {
+		e := &h.inflight[i]
+		if !e.used {
+			return -1
+		}
+		if e.done <= now {
+			// Reclaim and re-examine the slot (deletion shifts a
+			// later entry into it or empties it).
+			h.dropInflight(i)
+			continue
+		}
+		if e.line == line {
+			return i
+		}
+		i = (i + 1) & (len(h.inflight) - 1)
+	}
+}
+
+// dropInflight removes the entry at slot i, backward-shifting the
+// probe chain behind it so every survivor stays reachable.
+func (h *Hierarchy) dropInflight(i int) {
+	mask := len(h.inflight) - 1
+	h.inflight[i] = inflightFill{}
+	h.inflightN--
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := h.inflight[j]
+		if !e.used {
+			return
+		}
+		// e can fill the hole iff the hole lies on e's probe path.
+		if (j-h.inflightHome(e.line))&mask >= (j-i)&mask {
+			h.inflight[i] = e
+			h.inflight[j] = inflightFill{}
+			i = j
+		}
+	}
+}
+
+// insertInflight records a new fill of line completing at done,
+// replacing any stale entry for the same line (e.g. one outlived by a
+// TLB walk — the newer fill is what lookups must see).
+func (h *Hierarchy) insertInflight(now uint64, line uint32, done uint64) {
+	if 2*h.inflightN >= len(h.inflight) {
+		h.growInflight()
+	}
+	i := h.inflightHome(line)
+	for {
+		e := &h.inflight[i]
+		if !e.used {
+			*e = inflightFill{done: done, line: line, used: true}
+			h.inflightN++
+			return
+		}
+		if e.done <= now {
+			h.dropInflight(i)
+			continue
+		}
+		if e.line == line {
+			e.done = done
+			return
+		}
+		i = (i + 1) & (len(h.inflight) - 1)
+	}
+}
+
+// growInflight doubles the table, rehashing the live entries.
+func (h *Hierarchy) growInflight() {
+	old := h.inflight
+	h.inflight = make([]inflightFill, 2*len(old))
+	h.inflightShift--
+	mask := len(h.inflight) - 1
+	for _, e := range old {
+		if !e.used {
+			continue
+		}
+		i := h.inflightHome(e.line)
+		for h.inflight[i].used {
+			i = (i + 1) & mask
+		}
+		h.inflight[i] = e
+	}
 }
 
 // Params returns the hierarchy's configuration.
@@ -237,18 +390,6 @@ func (h *Hierarchy) writebackL1(now uint64, victim uint32) {
 	// writeback allocates it there silently.
 }
 
-func (h *Hierarchy) sweepInflight(now uint64) {
-	h.inflightSeen++
-	if h.inflightSeen%4096 != 0 || len(h.inflight) < 64 {
-		return
-	}
-	for l, d := range h.inflight {
-		if d <= now {
-			delete(h.inflight, l)
-		}
-	}
-}
-
 // AccessData performs a data-side access at cycle now.
 func (h *Hierarchy) AccessData(now uint64, addr uint32, kind Kind) Result {
 	res := h.accessData(now, addr, kind)
@@ -262,12 +403,12 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	if h.p.PerfectData {
 		return Result{Done: now + 1}
 	}
-	h.sweepInflight(now)
 	line := h.l1d.lineAddr(addr)
 	demand := kind == KLoad || kind == KStore
 	if demand {
-		h.distinct[line] = struct{}{}
+		h.markDistinct(line)
 	}
+	fill := h.findInflight(now, line)
 
 	var res Result
 	ready, tlbMiss := h.dtlb.Access(now, addr)
@@ -284,11 +425,11 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	}
 	if l1hit {
 		done := now + uint64(h.p.L1D.LatCycles)
-		if d, ok := h.inflight[line]; ok {
-			if d > done {
+		if fill >= 0 {
+			if d := h.inflight[fill].done; d > done {
 				done = d
 			} else {
-				delete(h.inflight, line)
+				h.dropInflight(fill)
 			}
 		}
 		if kind == KStore || kind == KJPStore {
@@ -311,11 +452,11 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	// Prefetch buffer probe.
 	if h.pb != nil && h.pb.lookup(addr) {
 		done := now + uint64(h.p.PB.LatCycles)
-		if d, ok := h.inflight[line]; ok {
-			if d > done {
+		if fill >= 0 {
+			if d := h.inflight[fill].done; d > done {
 				done = d
 			} else {
-				delete(h.inflight, line)
+				h.dropInflight(fill)
 			}
 		}
 		if kind == KPref {
@@ -344,19 +485,21 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	res.MissL1 = true
 
 	// Merge with an in-flight fill of the same line.
-	if d, ok := h.inflight[line]; ok && d > now {
-		if kind == KPref {
-			h.tr.PrefetchIssued(line, d, true)
-			return Result{Done: d, MissL1: true, Dropped: true}
+	if fill >= 0 {
+		if d := h.inflight[fill].done; d > now {
+			if kind == KPref {
+				h.tr.PrefetchIssued(line, d, true)
+				return Result{Done: d, MissL1: true, Dropped: true}
+			}
+			// The line is being filled (into L1 or PB); tags were
+			// installed eagerly, but a second structure may need the line
+			// too.  Keep it simple: the requester just waits for the fill.
+			if demand {
+				h.tr.Demand(line, now, true)
+			}
+			res.Done = d
+			return res
 		}
-		// The line is being filled (into L1 or PB); tags were installed
-		// eagerly, but a second structure may need the line too.  Keep
-		// it simple: the requester just waits for the fill.
-		if demand {
-			h.tr.Demand(line, now, true)
-		}
-		res.Done = d
-		return res
 	}
 
 	// True miss: allocate an MSHR and go below.
@@ -394,7 +537,7 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 			h.tr.Demand(line, now, true)
 		}
 	}
-	h.inflight[line] = first
+	h.insertInflight(now, line, first)
 	res.Done = first
 	return res
 }
@@ -452,6 +595,6 @@ func (h *Hierarchy) Stats() Stats {
 	s := h.s
 	_, s.DTLBMisses = h.dtlb.Stats()
 	_, s.ITLBMisses = h.itlb.Stats()
-	s.DistinctL1Lines = len(h.distinct)
+	s.DistinctL1Lines = h.distinctCount
 	return s
 }

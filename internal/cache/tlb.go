@@ -10,6 +10,11 @@ type TLB struct {
 	missLat   uint64
 	tick      uint64
 
+	// lastIdx caches the entry that served the previous access: page
+	// locality makes consecutive accesses to the same page the common
+	// case, and the fast path skips the associative scan.
+	lastIdx int
+
 	accesses uint64
 	misses   uint64
 }
@@ -40,11 +45,18 @@ func (t *TLB) Access(now uint64, addr uint32) (ready uint64, miss bool) {
 	t.accesses++
 	t.tick++
 	vpn := addr >> t.pageShift
+	// Same page as the previous access: hit without scanning.  The LRU
+	// stamp is the same one the scan below would write.
+	if last := &t.entries[t.lastIdx]; last.valid && last.vpn == vpn {
+		last.lru = t.tick
+		return now, false
+	}
 	victim := &t.entries[0]
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.vpn == vpn {
 			e.lru = t.tick
+			t.lastIdx = i
 			return now, false
 		}
 		if !e.valid {

@@ -221,6 +221,14 @@ func (h *HWEngine) OnCommit(now uint64, d *ir.DynInst) {
 	}
 }
 
+// NextEventAt delegates to the embedded DBP engine's queues.  The
+// JQT/JPR machinery is purely reactive (it runs inside OnCommit and
+// OnLoadIssue), so it never generates a timed event of its own; the
+// explicit delegation records that this was considered, not forgotten.
+func (h *HWEngine) NextEventAt(now uint64) uint64 {
+	return h.Engine.NextEventAt(now)
+}
+
 // OnLoadIssue performs jump-pointer retrieval: when a recurrent load
 // issues, the jump-pointer residing at its input node is read into the
 // JPR and launches a prefetch of the target node, which the DBP

@@ -14,6 +14,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/ir"
@@ -27,7 +29,9 @@ import (
 type PrefetchEngine interface {
 	// OnLoadIssue fires when a demand load issues to the data cache.
 	OnLoadIssue(now uint64, d *ir.DynInst)
-	// OnLoadComplete fires when a demand load's value arrives.
+	// OnLoadComplete fires when a demand load's value arrives.  The
+	// record is reconstructed from the core's completion queue: only
+	// PC, Value, Flags and Class are populated.
 	OnLoadComplete(now uint64, d *ir.DynInst)
 	// OnCommit fires for every instruction in program order.
 	OnCommit(now uint64, d *ir.DynInst)
@@ -37,6 +41,14 @@ type PrefetchEngine interface {
 	// Tick runs once per cycle with the number of idle data-cache
 	// ports; it returns how many the engine consumed.
 	Tick(now uint64, freePorts int) int
+	// NextEventAt reports the earliest cycle strictly after now at
+	// which the engine could act on its own (issue a queued request or
+	// process a completed prefetch), assuming no further core events
+	// reach it; ^uint64(0) means the engine is idle.  The core uses the
+	// hint to skip provably quiescent cycles; an engine that cannot
+	// tell may conservatively return now+1 at the cost of disabling
+	// the skip.
+	NextEventAt(now uint64) uint64
 }
 
 // FU describes one functional unit class: how many units exist and the
@@ -68,6 +80,12 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations; 0 means no limit.
 	MaxCycles uint64
+
+	// DisableCycleSkip forces the core to tick every cycle instead of
+	// jumping over provably quiescent spans.  The two modes are
+	// cycle-exact equivalents (tests assert identical statistics); the
+	// flag exists for validation and throughput comparisons.
+	DisableCycleSkip bool
 
 	// Tracer, when non-nil, receives per-instruction pipeline events
 	// (used by cmd/jpptrace and tests; nil costs nothing).
@@ -161,6 +179,13 @@ type robEntry struct {
 	issued       bool
 	isMem        bool
 	missL1       bool
+
+	// Mask-scheduler state (WindowSize <= 64 fast path).  readyAt is
+	// the operand-ready time, valid once waitLeft reaches zero;
+	// waitLeft counts distinct unissued producers still owed a
+	// completion time.
+	readyAt  uint64
+	waitLeft uint8
 }
 
 // Core is one simulation instance.
@@ -181,7 +206,35 @@ type Core struct {
 	// status ring: done time per in-flight sequence number.
 	ring []uint64 // doneAt; ^0 means not complete
 
+	// firstUnissued is the lowest sequence number that may still be
+	// unissued: every window entry below it has issued, so the issue
+	// scan starts there instead of at the head.
+	firstUnissued uint64
+	// unissuedStores counts stores in the window that have not issued;
+	// while it is zero no load can be ordering-blocked.
+	unissuedStores int
+
+	// Mask scheduler (used when WindowSize <= 64; issueScan otherwise).
+	// Bit i of each mask covers ROB slot i.  knownMask holds unissued
+	// entries whose operand-ready time is cached in readyAt, so the
+	// issue loop visits only them; everything else is asleep waiting
+	// for a producer to issue.  storeMask holds unissued stores (the
+	// load-ordering rule).  waiters[p] is the set of slots woken when
+	// slot p issues.
+	useMasks  bool
+	knownMask uint64
+	storeMask uint64
+	waiters   []uint64
+
 	lsqUsed int
+
+	// storeQ is a FIFO of the stores currently in the window, in
+	// program order (pushed at dispatch, popped at commit).  issueLoad
+	// consults it for store-to-load forwarding instead of scanning the
+	// whole window.
+	storeQ     []storeRef
+	storeHead  int
+	storeCount int
 
 	// Fetch state.
 	fetchReadyAt uint64
@@ -189,6 +242,8 @@ type Core struct {
 	blockSeq uint64
 	fetched  *ir.DynInst // staged instruction not yet dispatched
 	curLine  uint32      // current fetch line (+1 so 0 means none)
+	// genDone records that the generator has been observed exhausted.
+	genDone bool
 
 	// divFree tracks per-class next-free cycles for non-pipelined FUs.
 	divFree [ir.NumClasses]uint64
@@ -198,13 +253,26 @@ type Core struct {
 
 	// pending load completions for engine callbacks.
 	loadDone []loadEvent
+	// scratch rebuilds the reduced DynInst handed to OnLoadComplete.
+	scratch ir.DynInst
 
 	s Stats
 }
 
+// loadEvent is a pending OnLoadComplete callback.  It carries only the
+// fields engines consume (see PrefetchEngine.OnLoadComplete) rather
+// than a full ir.DynInst copy per demand load.
 type loadEvent struct {
-	at uint64
-	d  ir.DynInst
+	at    uint64
+	pc    uint32
+	value uint32
+	flags ir.Flag
+}
+
+// storeRef is one in-window store in the forwarding FIFO.
+type storeRef struct {
+	seq  uint64
+	addr uint32
 }
 
 // New builds a core over a hierarchy and branch predictor; eng may be
@@ -214,15 +282,30 @@ func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor, eng PrefetchE
 	for ringSize < cfg.WindowSize*2 {
 		ringSize <<= 1
 	}
+	storeCap := cfg.LSQSize
+	if storeCap < 1 {
+		storeCap = 1
+	}
 	c := &Core{
-		cfg:     cfg,
-		hier:    hier,
-		pred:    pred,
-		eng:     eng,
-		rob:     make([]robEntry, cfg.WindowSize),
-		ring:    make([]uint64, ringSize),
-		headSeq: 1,
-		nextSeq: 1,
+		cfg:    cfg,
+		hier:   hier,
+		pred:   pred,
+		eng:    eng,
+		rob:    make([]robEntry, cfg.WindowSize),
+		ring:   make([]uint64, ringSize),
+		storeQ: make([]storeRef, storeCap),
+		// Pre-size the event queues so the steady state never grows
+		// them: outstanding misses and pending load callbacks are both
+		// bounded by the window (compaction reuses this backing store).
+		missDone:      make([]uint64, 0, cfg.WindowSize),
+		loadDone:      make([]loadEvent, 0, cfg.WindowSize),
+		headSeq:       1,
+		nextSeq:       1,
+		firstUnissued: 1,
+		useMasks:      cfg.WindowSize <= 64,
+	}
+	if c.useMasks {
+		c.waiters = make([]uint64, cfg.WindowSize)
 	}
 	for i := range c.ring {
 		c.ring[i] = ^uint64(0)
@@ -230,15 +313,22 @@ func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor, eng PrefetchE
 	return c
 }
 
-func (c *Core) ready(src uint64) bool {
+// srcReadyAt reports when a source operand becomes (or became) ready.
+// known is false while the producer has not issued, so no completion
+// time exists yet.
+func (c *Core) srcReadyAt(src uint64) (at uint64, known bool) {
 	if src == 0 || src < c.headSeq {
-		return true
+		return 0, true
 	}
 	if src >= c.nextSeq {
 		// Producer not yet dispatched (should not happen: program order).
-		return false
+		return 0, false
 	}
-	return c.ring[src&uint64(len(c.ring)-1)] <= c.now
+	t := c.ring[src&uint64(len(c.ring)-1)]
+	if t == ^uint64(0) {
+		return 0, false
+	}
+	return t, true
 }
 
 // Run simulates the stream to completion and returns the statistics.
@@ -262,6 +352,10 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 			c.s.Insts++
 			if e.isMem {
 				c.lsqUsed--
+				if e.d.Class == ir.Store {
+					c.storeHead = (c.storeHead + 1) % len(c.storeQ)
+					c.storeCount--
+				}
 			}
 			c.head = (c.head + 1) % len(c.rob)
 			c.count--
@@ -270,12 +364,20 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 		}
 
 		// ---- deliver load completions to the engine ----
+		delivered := 0
 		if c.eng != nil && len(c.loadDone) > 0 {
 			kept := c.loadDone[:0]
 			for i := range c.loadDone {
 				ev := &c.loadDone[i]
 				if ev.at <= c.now {
-					c.eng.OnLoadComplete(c.now, &ev.d)
+					c.scratch = ir.DynInst{
+						Class: ir.Load,
+						PC:    ev.pc,
+						Value: ev.value,
+						Flags: ev.flags,
+					}
+					c.eng.OnLoadComplete(c.now, &c.scratch)
+					delivered++
 				} else {
 					kept = append(kept, *ev)
 				}
@@ -284,10 +386,14 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 		}
 
 		// ---- issue ----
-		memUsed := c.issue()
+		seqBefore := c.nextSeq
+		memUsed, issued, nextIssue := c.issue()
 
 		// ---- fetch/dispatch ----
 		done := c.fetchDispatch(gen)
+		if done {
+			c.genDone = true
+		}
 
 		// ---- prefetch engine ----
 		if c.eng != nil {
@@ -312,9 +418,115 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 			gen.Stop()
 			break
 		}
+
+		// ---- event-driven cycle skipping ----
+		// A cycle in which nothing committed, issued, dispatched or was
+		// delivered leaves the pipeline in a fixed point: every following
+		// cycle is identical bookkeeping until some timed event lands.
+		// Jump straight to the earliest such event and account for the
+		// skipped cycles in bulk; see nextEventAt for the invariants.
+		if committed == 0 && issued == 0 && delivered == 0 &&
+			c.nextSeq == seqBefore && !c.cfg.DisableCycleSkip {
+			next := c.nextEventAt(nextIssue)
+			if c.cfg.MaxCycles > 0 && next > c.cfg.MaxCycles {
+				next = c.cfg.MaxCycles
+			}
+			if next > c.now {
+				span := next - c.now
+				// Each skipped cycle classifies identically: the window
+				// contents, head state and counters are all frozen.
+				c.s.Attribution.AccountN(c.classifyCycle(0), span)
+				// fetchDispatch would have counted a front-end stall for
+				// every skipped cycle it was blocked.
+				if c.blockSeq != 0 {
+					c.s.FetchStallCycles += span
+				} else if c.fetchReadyAt > c.now {
+					stall := c.fetchReadyAt - c.now
+					if stall > span {
+						stall = span
+					}
+					c.s.FetchStallCycles += stall
+				}
+				if c.eng != nil {
+					// The engine provably had nothing due during the
+					// span (nextEventAt consulted it), so the per-cycle
+					// Ticks reduce to query-quota resets; one synthetic
+					// Tick at the last skipped cycle reproduces the
+					// state the next real cycle observes.
+					c.eng.Tick(next-1, 0)
+				}
+				c.now = next
+				if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+					c.s.Truncated = true
+					gen.Stop()
+					break
+				}
+			}
+		}
 	}
 	c.s.Cycles = c.now
 	return c.s
+}
+
+// nextEventAt computes the earliest cycle >= c.now at which the frozen
+// pipeline can change state, given that the cycle just simulated was
+// completely quiescent.  Candidate events:
+//
+//   - the ROB head completing (commit can proceed);
+//   - a queued engine load-completion callback coming due;
+//   - a stalled instruction's operands becoming ready, or a
+//     non-pipelined FU freeing (nextIssue, computed by issue());
+//   - fetch unblocking (I-cache/BTB stall expiring) while it has work
+//     it could dispatch;
+//   - the prefetch engine acting on its own (NextEventAt hint).
+//
+// An instruction whose producer has not issued contributes no candidate:
+// its wake-up is gated on that producer's issue, which is itself bounded
+// by one of the candidates above (the chain of unissued producers ends
+// at an instruction with known-ready operands).  A mispredict-frozen
+// front end (blockSeq != 0) wakes only when the branch issues, which is
+// likewise covered.
+func (c *Core) nextEventAt(nextIssue uint64) uint64 {
+	next := nextIssue
+	if c.count > 0 {
+		if e := &c.rob[c.head]; e.issued && e.doneAt < next {
+			next = e.doneAt
+		}
+	}
+	for i := range c.loadDone {
+		if at := c.loadDone[i].at; at < next {
+			next = at
+		}
+	}
+	if c.blockSeq == 0 && c.count < len(c.rob) {
+		// Fetch acts once fetchReadyAt passes — unless it would only
+		// re-stage a full-LSQ memory op (freed by commit, which is
+		// covered above) or poll an exhausted generator to no effect.
+		// The exhausted-generator poll does matter when the window is
+		// empty: it is what ends the run (see the break in Run), so the
+		// stall expiry stays an event in that case.
+		canFetch := false
+		if c.fetched != nil {
+			canFetch = !c.fetched.IsMem() || c.lsqUsed < c.cfg.LSQSize
+		} else {
+			canFetch = !c.genDone || c.count == 0
+		}
+		if canFetch {
+			t := c.fetchReadyAt
+			if t < c.now {
+				t = c.now
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if c.eng != nil {
+		if t := c.eng.NextEventAt(c.now - 1); t < next {
+			next = t
+		}
+	}
+	return next
 }
 
 // classifyCycle attributes the current cycle to one stats category,
@@ -348,32 +560,266 @@ func (c *Core) classifyCycle(committed int) stats.Category {
 	return stats.CatOther
 }
 
-// issue scans the window oldest-first and issues up to IssueWidth ready
-// instructions, respecting FU counts, memory ports and LSQ ordering
-// rules.  It returns the number of memory ports consumed.
-func (c *Core) issue() int {
-	issued := 0
-	memUsed := 0
-	var aluUsed, fpAddUsed int
-	sawUnissuedStore := false
+// issue selects and issues up to IssueWidth ready instructions in age
+// order, respecting FU counts, memory ports and LSQ ordering rules.  It
+// returns the number of memory ports consumed, the number of
+// instructions issued, and the earliest future cycle at which a
+// currently-stalled instruction could issue (^uint64(0) when no such
+// bound is known; only meaningful to the cycle-skip logic when nothing
+// issued this cycle — any activity disables the skip).
+func (c *Core) issue() (memUsed, issued int, nextIssue uint64) {
+	if c.useMasks {
+		return c.issueMasked()
+	}
+	return c.issueScan()
+}
 
-	for k := 0; k < c.count && issued < c.cfg.IssueWidth; k++ {
+// srcState resolves one operand: its ready time if the producer has
+// issued (known), else the ROB slot whose issue will provide it.  The
+// producer is always dispatched before its consumer (program order), so
+// an unknown producer is in the window.
+func (c *Core) srcState(src uint64) (at uint64, known bool, slot int) {
+	if src == 0 || src < c.headSeq {
+		return 0, true, -1
+	}
+	t := c.ring[src&uint64(len(c.ring)-1)]
+	if t == ^uint64(0) {
+		return 0, false, (c.head + int(src-c.headSeq)) % len(c.rob)
+	}
+	return t, true, -1
+}
+
+// subscribe registers a freshly dispatched entry (slot idx) with the
+// mask scheduler: cache its operand-ready time if every producer has
+// issued, otherwise sleep until the producers' issue wakes it.
+func (c *Core) subscribe(idx int) {
+	e := &c.rob[idx]
+	t1, k1, s1 := c.srcState(e.d.Src1)
+	t2, k2, s2 := c.srcState(e.d.Src2)
+	if t2 > t1 {
+		t1 = t2
+	}
+	e.readyAt = t1
+	bit := uint64(1) << uint(idx)
+	if k1 && k2 {
+		e.waitLeft = 0
+		c.knownMask |= bit
+		return
+	}
+	n := uint8(0)
+	if !k1 {
+		c.waiters[s1] |= bit
+		n++
+	}
+	if !k2 && (k1 || s2 != s1) {
+		c.waiters[s2] |= bit
+		n++
+	}
+	e.waitLeft = n
+}
+
+// wake publishes an issued entry's completion time to its waiters.
+func (c *Core) wake(idx int, doneAt uint64) {
+	w := c.waiters[idx]
+	if w == 0 {
+		return
+	}
+	c.waiters[idx] = 0
+	for w != 0 {
+		wi := bits.TrailingZeros64(w)
+		w &= w - 1
+		we := &c.rob[wi]
+		if doneAt > we.readyAt {
+			we.readyAt = doneAt
+		}
+		if we.waitLeft--; we.waitLeft == 0 {
+			c.knownMask |= uint64(1) << uint(wi)
+		}
+	}
+}
+
+// olderMask returns the set of ROB slots strictly older in program
+// order than slot idx.  Bits at or above len(rob) may be set but never
+// match an occupied slot.
+func (c *Core) olderMask(idx int) uint64 {
+	headMask := uint64(1)<<uint(c.head) - 1
+	below := uint64(1)<<uint(idx) - 1
+	if idx >= c.head {
+		return below &^ headMask
+	}
+	return ^headMask | below
+}
+
+// issueMasked is the issue stage for windows of at most 64 entries: it
+// visits only the entries whose operands have a cached ready time
+// (knownMask), in age order, instead of rescanning the window.  The
+// selection it makes is identical to issueScan's.
+func (c *Core) issueMasked() (memUsed, issued int, nextIssue uint64) {
+	nextIssue = ^uint64(0)
+	snap := c.knownMask
+	if snap == 0 {
+		return
+	}
+	var aluUsed, fpAddUsed int
+	headMask := uint64(1)<<uint(c.head) - 1
+	// Age order: slots head..len-1, then the wrapped 0..head-1.
+	for _, m := range [2]uint64{snap &^ headMask, snap & headMask} {
+		for m != 0 && issued < c.cfg.IssueWidth {
+			idx := bits.TrailingZeros64(m)
+			m &= m - 1
+			e := &c.rob[idx]
+			if e.readyAt > c.now {
+				if e.readyAt < nextIssue {
+					nextIssue = e.readyAt
+				}
+				continue
+			}
+			d := &e.d
+			switch d.Class {
+			case ir.Load:
+				// Loads wait for all previous store addresses.
+				if c.storeMask != 0 && c.storeMask&c.olderMask(idx) != 0 {
+					continue
+				}
+				if memUsed >= c.cfg.MemPorts {
+					nextIssue = c.now + 1
+					continue
+				}
+				memUsed++
+				c.issueLoad(idx)
+			case ir.Store:
+				if memUsed >= c.cfg.MemPorts {
+					nextIssue = c.now + 1
+					continue
+				}
+				memUsed++
+				c.hier.AccessData(c.now, d.Addr, cache.KStore)
+				e.issued = true
+				e.doneAt = c.now + 1
+			case ir.Prefetch:
+				if memUsed >= c.cfg.MemPorts {
+					nextIssue = c.now + 1
+					continue
+				}
+				memUsed++
+				res := c.hier.AccessData(c.now, d.Addr, cache.KPref)
+				e.issued = true
+				e.doneAt = c.now + 1 // non-binding: completes on issue
+				if c.eng != nil {
+					c.eng.OnSWPrefetch(c.now, d, res.Done)
+				}
+			case ir.IntMult, ir.IntDiv, ir.FpMult, ir.FpDiv:
+				fu := c.cfg.FUs[d.Class]
+				if free := c.divFree[d.Class]; free > c.now {
+					if free < nextIssue {
+						nextIssue = free
+					}
+					continue
+				}
+				e.issued = true
+				e.doneAt = c.now + uint64(fu.Latency)
+				if !fu.Pipelined {
+					c.divFree[d.Class] = e.doneAt
+				}
+			case ir.FpAdd:
+				if fpAddUsed >= c.cfg.FUs[ir.FpAdd].Count {
+					nextIssue = c.now + 1
+					continue
+				}
+				fpAddUsed++
+				e.issued = true
+				e.doneAt = c.now + uint64(c.cfg.FUs[ir.FpAdd].Latency)
+			default: // IntAlu, Nop, Branch, Jump
+				if aluUsed >= c.cfg.FUs[ir.IntAlu].Count {
+					nextIssue = c.now + 1
+					continue
+				}
+				aluUsed++
+				e.issued = true
+				e.doneAt = c.now + 1
+			}
+			if e.issued {
+				issued++
+				e.issuedAt = c.now
+				c.ring[d.Seq&uint64(len(c.ring)-1)] = e.doneAt
+				bit := uint64(1) << uint(idx)
+				c.knownMask &^= bit
+				if d.Class == ir.Store {
+					c.storeMask &^= bit
+					c.unissuedStores--
+				}
+				c.wake(idx, e.doneAt)
+				if d.Seq == c.blockSeq {
+					// The mispredicted branch resolved; restart fetch.
+					c.fetchReadyAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
+					c.blockSeq = 0
+				}
+			}
+		}
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+	}
+	return memUsed, issued, nextIssue
+}
+
+// issueScan is the issue stage for windows larger than 64 entries: an
+// oldest-first scan starting at the first-unissued cursor.
+func (c *Core) issueScan() (memUsed, issued int, nextIssue uint64) {
+	nextIssue = ^uint64(0)
+	var aluUsed, fpAddUsed int
+	// The prefix below the cursor is fully issued, so it contains no
+	// unissued store; starting the scan there preserves the ordering
+	// rule for loads.
+	sawUnissuedStore := false
+	checkStores := c.unissuedStores > 0
+
+	start := 0
+	if c.firstUnissued > c.headSeq {
+		start = int(c.firstUnissued - c.headSeq)
+	}
+	prefix := true // entries scanned so far were all issued
+
+	for k := start; k < c.count && issued < c.cfg.IssueWidth; k++ {
 		idx := (c.head + k) % len(c.rob)
 		e := &c.rob[idx]
 		if e.issued {
+			if prefix {
+				c.firstUnissued = c.headSeq + uint64(k) + 1
+			}
 			continue
 		}
+		wasPrefix := prefix
+		prefix = false
 		d := &e.d
-		if !c.ready(d.Src1) || !c.ready(d.Src2) {
+		t1, ok1 := c.srcReadyAt(d.Src1)
+		t2, ok2 := c.srcReadyAt(d.Src2)
+		if !ok1 || !ok2 || t1 > c.now || t2 > c.now {
 			if d.Class == ir.Store {
 				sawUnissuedStore = true
+			}
+			// Wake-up bound for the skip logic: known once both
+			// producers have issued.  An unknown producer needs no
+			// bound — its own issue is a separate event.
+			if ok1 && ok2 {
+				t := t1
+				if t2 > t {
+					t = t2
+				}
+				if t < nextIssue {
+					nextIssue = t
+				}
 			}
 			continue
 		}
 		switch d.Class {
 		case ir.Load:
 			// Loads wait for all previous store addresses.
-			if sawUnissuedStore || memUsed >= c.cfg.MemPorts {
+			if checkStores && sawUnissuedStore {
+				continue
+			}
+			if memUsed >= c.cfg.MemPorts {
+				nextIssue = c.now + 1
 				continue
 			}
 			memUsed++
@@ -381,6 +827,7 @@ func (c *Core) issue() int {
 		case ir.Store:
 			if memUsed >= c.cfg.MemPorts {
 				sawUnissuedStore = true
+				nextIssue = c.now + 1
 				continue
 			}
 			memUsed++
@@ -389,6 +836,7 @@ func (c *Core) issue() int {
 			e.doneAt = c.now + 1
 		case ir.Prefetch:
 			if memUsed >= c.cfg.MemPorts {
+				nextIssue = c.now + 1
 				continue
 			}
 			memUsed++
@@ -400,7 +848,10 @@ func (c *Core) issue() int {
 			}
 		case ir.IntMult, ir.IntDiv, ir.FpMult, ir.FpDiv:
 			fu := c.cfg.FUs[d.Class]
-			if c.divFree[d.Class] > c.now {
+			if free := c.divFree[d.Class]; free > c.now {
+				if free < nextIssue {
+					nextIssue = free
+				}
 				continue
 			}
 			e.issued = true
@@ -410,6 +861,7 @@ func (c *Core) issue() int {
 			}
 		case ir.FpAdd:
 			if fpAddUsed >= c.cfg.FUs[ir.FpAdd].Count {
+				nextIssue = c.now + 1
 				continue
 			}
 			fpAddUsed++
@@ -417,6 +869,7 @@ func (c *Core) issue() int {
 			e.doneAt = c.now + uint64(c.cfg.FUs[ir.FpAdd].Latency)
 		default: // IntAlu, Nop, Branch, Jump
 			if aluUsed >= c.cfg.FUs[ir.IntAlu].Count {
+				nextIssue = c.now + 1
 				continue
 			}
 			aluUsed++
@@ -427,6 +880,13 @@ func (c *Core) issue() int {
 			issued++
 			e.issuedAt = c.now
 			c.ring[d.Seq&uint64(len(c.ring)-1)] = e.doneAt
+			if d.Class == ir.Store {
+				c.unissuedStores--
+			}
+			if wasPrefix {
+				prefix = true
+				c.firstUnissued = c.headSeq + uint64(k) + 1
+			}
 			if d.Seq == c.blockSeq {
 				// The mispredicted branch resolved; restart fetch.
 				c.fetchReadyAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
@@ -434,22 +894,22 @@ func (c *Core) issue() int {
 			}
 		}
 	}
-	return memUsed
+	return memUsed, issued, nextIssue
 }
 
 func (c *Core) issueLoad(idx int) {
 	e := &c.rob[idx]
 	d := &e.d
 
-	// Store-to-load forwarding: an older store in the window to the
-	// same word supplies the value through the 1-cycle bypass.
-	for k := 0; k < c.count; k++ {
-		j := (c.head + k) % len(c.rob)
-		if j == idx {
+	// Store-to-load forwarding: the oldest older store in the window to
+	// the same word supplies the value through the 1-cycle bypass.  The
+	// store FIFO holds exactly the in-window stores in program order.
+	for k := 0; k < c.storeCount; k++ {
+		o := &c.storeQ[(c.storeHead+k)%len(c.storeQ)]
+		if o.seq >= d.Seq {
 			break
 		}
-		o := &c.rob[j]
-		if o.d.Class == ir.Store && o.d.Addr == d.Addr {
+		if o.addr == d.Addr {
 			e.issued = true
 			e.issuedAt = c.now
 			e.doneAt = c.now + 1
@@ -495,7 +955,12 @@ func (c *Core) issueLoad(idx int) {
 
 func (c *Core) finishLoad(e *robEntry) {
 	if c.eng != nil {
-		c.loadDone = append(c.loadDone, loadEvent{at: e.doneAt, d: e.d})
+		c.loadDone = append(c.loadDone, loadEvent{
+			at:    e.doneAt,
+			pc:    e.d.PC,
+			value: e.d.Value,
+			flags: e.d.Flags,
+		})
 	}
 }
 
@@ -544,6 +1009,17 @@ func (c *Core) fetchDispatch(gen *ir.Gen) bool {
 		c.nextSeq = d.Seq + 1
 		if isMem {
 			c.lsqUsed++
+			if d.Class == ir.Store {
+				c.storeQ[(c.storeHead+c.storeCount)%len(c.storeQ)] = storeRef{seq: d.Seq, addr: d.Addr}
+				c.storeCount++
+				c.unissuedStores++
+			}
+		}
+		if c.useMasks {
+			if d.Class == ir.Store {
+				c.storeMask |= uint64(1) << uint(tail)
+			}
+			c.subscribe(tail)
 		}
 
 		// Control flow.

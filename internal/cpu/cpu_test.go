@@ -243,6 +243,7 @@ func (r *recordingEngine) OnCommit(now uint64, d *ir.DynInst) {
 }
 func (r *recordingEngine) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) { r.prefetches++ }
 func (r *recordingEngine) Tick(now uint64, freePorts int) int                  { return 0 }
+func (r *recordingEngine) NextEventAt(now uint64) uint64                       { return ^uint64(0) }
 
 func TestEngineHookProtocol(t *testing.T) {
 	alloc := heap.New(mem.NewImage())

@@ -17,13 +17,23 @@
 // fetched, chaining down the linked structure.
 package dbp
 
+import "math/bits"
+
 // PPW is the potential producer window: a FIFO of the last N (value,
 // producerPC) pairs.  Training looks up a load's base address in the
 // window; a hit establishes a producer->consumer dependence.
+//
+// The value->PC index is an open-addressed table (linear probing,
+// backward-shift deletion) rather than a Go map: the window holds at
+// most N live values and Insert/Lookup run for every committed load, so
+// the fixed low-load-factor table keeps training off the map runtime
+// entirely.  Value 0 is never inserted and doubles as the empty-slot
+// sentinel.
 type PPW struct {
-	ring []ppwEntry
-	pos  int
-	idx  map[uint32]uint32 // value -> producer PC (latest wins)
+	ring  []ppwEntry
+	pos   int
+	slots []ppwSlot // value -> producer PC (latest wins)
+	shift uint
 }
 
 type ppwEntry struct {
@@ -31,9 +41,26 @@ type ppwEntry struct {
 	valid bool
 }
 
+type ppwSlot struct {
+	value uint32
+	pc    uint32
+}
+
 // NewPPW returns a window of n entries.
 func NewPPW(n int) *PPW {
-	return &PPW{ring: make([]ppwEntry, n), idx: make(map[uint32]uint32, n)}
+	slots := 1
+	for slots < 4*n {
+		slots <<= 1
+	}
+	return &PPW{
+		ring:  make([]ppwEntry, n),
+		slots: make([]ppwSlot, slots),
+		shift: 32 - uint(bits.Len(uint(slots-1))),
+	}
+}
+
+func (w *PPW) home(value uint32) int {
+	return int((value * 0x9E3779B1) >> w.shift)
 }
 
 // Insert records that pc produced value.
@@ -43,18 +70,64 @@ func (w *PPW) Insert(value, pc uint32) {
 	}
 	old := &w.ring[w.pos]
 	if old.valid {
-		// Only clear the index if no newer insert overwrote it.
-		delete(w.idx, old.value)
+		// Drop the evicted value from the index.  Like the map this
+		// replaces, eviction clears the value even when a newer ring
+		// entry re-inserted it; goldens depend on that behaviour.
+		w.idxDelete(old.value)
 	}
 	*old = ppwEntry{value: value, valid: true}
-	w.idx[value] = pc
+	w.idxInsert(value, pc)
 	w.pos = (w.pos + 1) % len(w.ring)
 }
 
 // Lookup returns the PC that most recently produced value.
 func (w *PPW) Lookup(value uint32) (pc uint32, ok bool) {
-	pc, ok = w.idx[value]
-	return
+	mask := len(w.slots) - 1
+	for i := w.home(value); w.slots[i].value != 0; i = (i + 1) & mask {
+		if w.slots[i].value == value {
+			return w.slots[i].pc, true
+		}
+	}
+	return 0, false
+}
+
+func (w *PPW) idxInsert(value, pc uint32) {
+	mask := len(w.slots) - 1
+	i := w.home(value)
+	for w.slots[i].value != 0 {
+		if w.slots[i].value == value {
+			w.slots[i].pc = pc
+			return
+		}
+		i = (i + 1) & mask
+	}
+	w.slots[i] = ppwSlot{value: value, pc: pc}
+}
+
+func (w *PPW) idxDelete(value uint32) {
+	mask := len(w.slots) - 1
+	i := w.home(value)
+	for w.slots[i].value != value {
+		if w.slots[i].value == 0 {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift deletion: pull later entries of the probe chain
+	// over the hole so lookups never need tombstones.
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := w.slots[j]
+		if e.value == 0 {
+			break
+		}
+		if (j-w.home(e.value))&mask >= (j-i)&mask {
+			w.slots[i] = e
+			i = j
+		}
+	}
+	w.slots[i] = ppwSlot{}
 }
 
 // Dep is one dependence predictor correlation.
@@ -122,12 +195,19 @@ func (d *DepPredictor) Insert(producer, consumer, offset uint32) {
 }
 
 // Query returns the consumers correlated with producer pc.  The result
-// slice is freshly allocated per call only on hits (hot paths tolerate
-// this; sets are tiny).
+// slice is freshly allocated per call only on hits; hot paths should
+// use QueryInto with a reusable buffer instead.
 func (d *DepPredictor) Query(pc uint32) []Dep {
+	return d.QueryInto(pc, nil)
+}
+
+// QueryInto appends the consumers correlated with producer pc to buf
+// and returns the extended slice, keeping the per-query allocation off
+// hot paths.
+func (d *DepPredictor) QueryInto(pc uint32, buf []Dep) []Dep {
 	d.queries++
 	set := d.set(pc)
-	var out []Dep
+	out := buf
 	for i := range set {
 		e := &set[i]
 		if e.valid && e.producer == pc {
@@ -135,7 +215,7 @@ func (d *DepPredictor) Query(pc uint32) []Dep {
 			out = append(out, Dep{ConsumerPC: e.consumer, Offset: e.offset})
 		}
 	}
-	if len(out) > 0 {
+	if len(out) > len(buf) {
 		d.hits++
 	}
 	return out

@@ -81,8 +81,13 @@ type Engine struct {
 
 	prq     []prqReq
 	pending []arrival
+	// pendingMin caches the minimum done time across pending (exact;
+	// ^uint64(0) when pending is empty), so the per-cycle Tick and the
+	// core's NextEventAt query avoid scanning the queue.
+	pendingMin uint64
 
 	queryQuota int
+	depBuf     []Dep // scratch for ChaseFrom's predictor queries
 
 	s Stats
 }
@@ -118,13 +123,14 @@ type arrival struct {
 // NewEngine builds a DBP engine over the given hierarchy and heap.
 func NewEngine(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) *Engine {
 	return &Engine{
-		cfg:     cfg,
-		hier:    hier,
-		img:     alloc.Image(),
-		heap:    alloc,
-		ppw:     NewPPW(cfg.PPWEntries),
-		jumpPPW: NewPPW(cfg.PPWEntries * 2),
-		dp:      NewDepPredictor(cfg.DPEntries, cfg.DPAssoc),
+		cfg:        cfg,
+		hier:       hier,
+		img:        alloc.Image(),
+		heap:       alloc,
+		ppw:        NewPPW(cfg.PPWEntries),
+		jumpPPW:    NewPPW(cfg.PPWEntries * 2),
+		dp:         NewDepPredictor(cfg.DPEntries, cfg.DPAssoc),
+		pendingMin: ^uint64(0),
 	}
 }
 
@@ -172,7 +178,10 @@ func (e *Engine) ChaseFrom(pc, value uint32, depth int) {
 	}
 	e.queryQuota--
 	e.s.ChaseQueries++
-	for _, dep := range e.dp.Query(pc) {
+	// depBuf is reusable scratch: EnqueuePrefetch never re-queries the
+	// predictor, so the buffer is not live across the recursion.
+	e.depBuf = e.dp.QueryInto(pc, e.depBuf[:0])
+	for _, dep := range e.depBuf {
 		e.EnqueuePrefetch(value+dep.Offset, dep.ConsumerPC, depth+1, OChase)
 	}
 }
@@ -208,7 +217,7 @@ func (e *Engine) EnqueuePrefetch(addr, pc uint32, depth int, origin Origin) {
 		e.s.DedupDrops++
 		e.s.DedupByOrigin[origin]++
 		if a.pc != pc || a.addr != addr {
-			e.pending = append(e.pending, arrival{
+			e.addPending(arrival{
 				done: a.done, addr: addr, pc: pc, depth: depth,
 			})
 		}
@@ -220,6 +229,14 @@ func (e *Engine) EnqueuePrefetch(addr, pc uint32, depth int, origin Origin) {
 	}
 	e.prq = append(e.prq, prqReq{addr: addr, pc: pc, depth: depth, origin: origin})
 	e.s.Requested++
+}
+
+// addPending enqueues an arrival, maintaining the cached minimum.
+func (e *Engine) addPending(a arrival) {
+	if a.done < e.pendingMin {
+		e.pendingMin = a.done
+	}
+	e.pending = append(e.pending, a)
 }
 
 // --- cpu.PrefetchEngine implementation -------------------------------
@@ -249,9 +266,25 @@ func (e *Engine) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {
 	if d.Flags&ir.FJumpChase == 0 {
 		return
 	}
-	e.pending = append(e.pending, arrival{
+	e.addPending(arrival{
 		done: done, addr: d.Addr, pc: d.PC, depth: 0, jumpWord: true,
 	})
+}
+
+// NextEventAt reports the earliest cycle strictly after now at which
+// the engine could act on its own: the next Tick when requests are
+// queued in the PRQ (or arrivals are already due), else the earliest
+// pending-prefetch completion.  ^uint64(0) means the engine is idle
+// until the core feeds it again.
+func (e *Engine) NextEventAt(now uint64) uint64 {
+	if len(e.prq) > 0 {
+		return now + 1
+	}
+	if e.pendingMin <= now {
+		// Work already due, deferred by the query quota.
+		return now + 1
+	}
+	return e.pendingMin
 }
 
 // Tick advances the engine one cycle: completed prefetches chase
@@ -259,6 +292,14 @@ func (e *Engine) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {
 // the number of ports consumed.
 func (e *Engine) Tick(now uint64, freePorts int) int {
 	e.queryQuota = e.cfg.QueriesPerCycle
+	// Skip the compaction pass entirely on the (common) cycles where no
+	// arrival is due yet — the loop below would keep every entry.
+	if now < e.pendingMin {
+		if len(e.prq) == 0 {
+			return 0
+		}
+		return e.issuePRQ(now, freePorts)
+	}
 
 	// Process arrivals whose data is available.  Chasing can append new
 	// arrivals to e.pending (continuations of resident lines); indexing
@@ -266,10 +307,14 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 	// grows, and freshly appended entries (done = now+1) are kept for
 	// the next cycle.
 	n := 0
+	kmin := ^uint64(0)
 	for i := 0; i < len(e.pending); i++ {
 		a := e.pending[i]
 		if a.done > now || e.queryQuota <= 0 {
 			e.pending[n] = a
+			if a.done < kmin {
+				kmin = a.done
+			}
 			n++
 			continue
 		}
@@ -289,7 +334,13 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 		e.ChaseFrom(a.pc, value, a.depth)
 	}
 	e.pending = e.pending[:n]
+	e.pendingMin = kmin
 
+	return e.issuePRQ(now, freePorts)
+}
+
+// issuePRQ drains queued prefetch requests into idle cache ports.
+func (e *Engine) issuePRQ(now uint64, freePorts int) int {
 	used := 0
 	for used < freePorts && len(e.prq) > 0 {
 		r := e.prq[0]
@@ -307,11 +358,11 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 		}
 		e.s.IssuedPrefetch++
 		e.s.IssuedByOrigin[r.origin]++
-		e.pending = append(e.pending, arrival{
+		e.addPending(arrival{
 			done: res.Done, addr: r.addr, pc: r.pc, depth: r.depth,
 		})
 		for _, c := range r.conts {
-			e.pending = append(e.pending, arrival{
+			e.addPending(arrival{
 				done: res.Done, addr: c.addr, pc: c.pc, depth: c.depth,
 			})
 		}

@@ -3,6 +3,7 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // The batch runner executes independent simulations concurrently on a
@@ -20,6 +21,11 @@ import (
 type RunItem struct {
 	Result Result
 	Err    error
+	// Elapsed is the wall-clock time of this run.  Under a parallel
+	// batch the runs share host cores, so per-item throughput derived
+	// from it understates single-run speed; treat it as a smoke
+	// indicator (BenchmarkCore measures serial throughput properly).
+	Elapsed time.Duration
 }
 
 // DecompItem is one slot of a decomposition batch result.
@@ -55,7 +61,9 @@ func RunBatch(specs []Spec, workers int) []RunItem {
 	workers = normWorkers(workers, len(specs))
 	if workers == 1 {
 		for i, s := range specs {
+			start := time.Now()
 			out[i].Result, out[i].Err = Run(s)
+			out[i].Elapsed = time.Since(start)
 		}
 		return out
 	}
@@ -66,7 +74,9 @@ func RunBatch(specs []Spec, workers int) []RunItem {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				start := time.Now()
 				out[i].Result, out[i].Err = Run(specs[i])
+				out[i].Elapsed = time.Since(start)
 			}
 		}()
 	}

@@ -57,6 +57,13 @@ type Asm struct {
 	sp       uint32
 	overhead bool
 
+	// d is the scratch instruction reused by every emitter.  record's
+	// emit callback copies it into the outgoing batch, so handing out
+	// &a.d never aliases past the call — and keeps the hot emission
+	// path allocation-free (a heap DynInst per instruction otherwise
+	// escapes through the emit closure).
+	d DynInst
+
 	counts     [NumClasses]uint64
 	origInsts  uint64 // non-overhead instructions
 	ovhdInsts  uint64 // overhead (prefetch-transformation) instructions
@@ -116,7 +123,8 @@ func (a *Asm) Overhead(fn func()) {
 // Go.  x and y are the register inputs (use Imm for constants).
 func (a *Asm) Op(site int, c Class, result uint32, x, y Val) Val {
 	seq, pc := a.next(site)
-	a.record(&DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result})
+	a.d = DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result}
+	a.record(&a.d)
 	return Val{seq: seq, v: result, pc: pc}
 }
 
@@ -135,11 +143,12 @@ func (a *Asm) Load(site int, base Val, off uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	addr := base.v + off
 	v := a.img.ReadWord(addr)
-	a.record(&DynInst{
+	a.d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq,
 		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
-	})
+	}
+	a.record(&a.d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
@@ -149,11 +158,12 @@ func (a *Asm) LoadIdx(site int, base, idx Val, off uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	addr := base.v + idx.v + off
 	v := a.img.ReadWord(addr)
-	a.record(&DynInst{
+	a.d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq, Src2: idx.seq,
 		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
-	})
+	}
+	a.record(&a.d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
@@ -162,10 +172,11 @@ func (a *Asm) Store(site int, base Val, off uint32, val Val) {
 	seq, pc := a.next(site)
 	addr := base.v + off
 	a.img.WriteWord(addr, val.v)
-	a.record(&DynInst{
+	a.d = DynInst{
 		Seq: seq, PC: pc, Class: Store, Src1: base.seq, Src2: val.seq,
 		Addr: addr, Value: val.v, BaseValue: base.v, BaseProducerPC: base.pc,
-	})
+	}
+	a.record(&a.d)
 }
 
 // Prefetch emits a non-binding software prefetch of the block at
@@ -173,28 +184,31 @@ func (a *Asm) Store(site int, base Val, off uint32, val Val) {
 func (a *Asm) Prefetch(site int, base Val, off uint32, flags Flag) {
 	seq, pc := a.next(site)
 	addr := base.v + off
-	a.record(&DynInst{
+	a.d = DynInst{
 		Seq: seq, PC: pc, Class: Prefetch, Src1: base.seq,
 		Addr: addr, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
-	})
+	}
+	a.record(&a.d)
 }
 
 // Branch emits a conditional branch at site, jumping to targetSite when
 // taken.  x and y are the compared register inputs.
 func (a *Asm) Branch(site int, taken bool, targetSite int, x, y Val) {
 	seq, pc := a.next(site)
-	a.record(&DynInst{
+	a.d = DynInst{
 		Seq: seq, PC: pc, Class: Branch, Src1: x.seq, Src2: y.seq,
 		Taken: taken, Target: SitePC(targetSite),
-	})
+	}
+	a.record(&a.d)
 }
 
 // Jump emits an unconditional jump to targetSite.
 func (a *Asm) Jump(site, targetSite int, flags Flag) {
 	seq, pc := a.next(site)
-	a.record(&DynInst{Seq: seq, PC: pc, Class: Jump, Taken: true,
-		Target: SitePC(targetSite), Flags: flags})
+	a.d = DynInst{Seq: seq, PC: pc, Class: Jump, Taken: true,
+		Target: SitePC(targetSite), Flags: flags}
+	a.record(&a.d)
 }
 
 // Call emits a procedure call (jump flagged FCall).
@@ -220,14 +234,16 @@ func (a *Asm) Pop(site int) Val {
 func (a *Asm) loadAbs(site int, addr uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	v := a.img.ReadWord(addr)
-	a.record(&DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags})
+	a.d = DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags}
+	a.record(&a.d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
 func (a *Asm) storeAbs(site int, addr uint32, val Val) {
 	seq, pc := a.next(site)
 	a.img.WriteWord(addr, val.v)
-	a.record(&DynInst{Seq: seq, PC: pc, Class: Store, Src1: val.seq, Addr: addr, Value: val.v})
+	a.d = DynInst{Seq: seq, PC: pc, Class: Store, Src1: val.seq, Addr: addr, Value: val.v}
+	a.record(&a.d)
 }
 
 // LoadGlobal emits a load from the static data area.
@@ -281,7 +297,8 @@ func (a *Asm) FreeNode(p Val) {
 // iteration in tests).
 func (a *Asm) Nop(site int) {
 	seq, pc := a.next(site)
-	a.record(&DynInst{Seq: seq, PC: pc, Class: Nop})
+	a.d = DynInst{Seq: seq, PC: pc, Class: Nop}
+	a.record(&a.d)
 }
 
 // Stats summarizes what a kernel emitted.

@@ -120,12 +120,12 @@ func (g *Gen) Stop() {
 		return
 	}
 	close(g.quit)
-	// Drain until the kernel goroutine exits.
+	// Drain until the kernel goroutine exits: with quit closed, an
+	// in-flight send on ch either completes (and is discarded here) or
+	// selects quit, and the following ack wait always selects quit, so
+	// the goroutine unwinds after at most one more batch.  No acks are
+	// needed — sending them here would only race the quit path.
 	for range g.ch {
-		select {
-		case g.ack <- struct{}{}:
-		default:
-		}
 	}
 	g.done = true
 	g.stats = g.asm.stats()

@@ -1,7 +1,9 @@
 package ir
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/mem"
@@ -211,6 +213,43 @@ func TestGenStopUnwindsKernel(t *testing.T) {
 	}
 	// Idempotent.
 	g.Stop()
+}
+
+// TestGenStopLeaksNoGoroutine pins the Stop shutdown contract: the
+// kernel goroutine must unwind deterministically (ch closes after at
+// most one in-flight batch), not linger blocked on a channel.  Many
+// abandoned generators accumulate in a long harness batch, so a leak
+// here is a memory leak at scale.
+func TestGenStopLeaksNoGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		alloc := heap.New(mem.NewImage())
+		g := NewGen(alloc, func(a *Asm) {
+			for {
+				a.Nop(100)
+			}
+		})
+		// Stop mid-batch: the kernel is blocked sending or filling.
+		for j := 0; j < BatchSize+5; j++ {
+			if g.Next() == nil {
+				t.Fatal("stream ended unexpectedly")
+			}
+		}
+		g.Stop()
+	}
+	// Stop's drain loop only returns once ch is closed, which the
+	// kernel goroutine does as it unwinds — so no settling loop should
+	// be needed; the generous retry below only absorbs unrelated
+	// runtime goroutines coming and going.
+	for try := 0; ; try++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if try >= 100 {
+			t.Fatalf("goroutines: %d before, %d after 50 Stops", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func TestKernelPanicPropagates(t *testing.T) {

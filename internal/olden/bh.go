@@ -56,6 +56,9 @@ func bhSizes(s Size) bhCfg {
 		return bhCfg{bodies: 16, depth: 2, steps: 1}
 	case SizeSmall:
 		return bhCfg{bodies: 256, depth: 4, steps: 1}
+	case SizeLarge:
+		// ~4x the full tree: ~19K cells x 64B = ~1.2MB, past the L2.
+		return bhCfg{bodies: 5600, depth: 6, steps: 2}
 	default:
 		// ~4.7K cells x 64B = 300KB tree + 1.4K bodies x 32B.
 		return bhCfg{bodies: 1400, depth: 5, steps: 2}

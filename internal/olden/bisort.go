@@ -46,6 +46,8 @@ func bisortSizes(s Size) (depth, phases int) {
 		return 5, 2
 	case SizeSmall:
 		return 11, 3
+	case SizeLarge:
+		return 15, 4 // 32K nodes x 16B = 512KB, L2-sized
 	default:
 		return 13, 4 // 8K nodes x 16B = 128KB
 	}

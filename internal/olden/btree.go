@@ -67,6 +67,9 @@ func btreeSizes(s Size) btreeCfg {
 		return btreeCfg{keys: 64, scans: 2, scanLn: 8, points: 8}
 	case SizeSmall:
 		return btreeCfg{keys: 2 << 10, scans: 16, scanLn: 64, points: 128}
+	case SizeLarge:
+		// ~3x the full index (~1.1MB), twice the L2.
+		return btreeCfg{keys: 36 << 10, scans: 192, scanLn: 768, points: 768}
 	default:
 		// ~4K leaves + splits x 64B + inner levels = ~380KB of index;
 		// scans dominate the instruction mix, as in analytic range

@@ -64,6 +64,10 @@ func em3dSizes(s Size) em3dCfg {
 		return em3dCfg{nodes: 24, iters: 2}
 	case SizeSmall:
 		return em3dCfg{nodes: 400, iters: 4}
+	case SizeLarge:
+		// 2 x 5000 nodes x 64B = ~640KB: past the L2, so the backbone
+		// chase misses to memory every iteration.
+		return em3dCfg{nodes: 5000, iters: 10}
 	default:
 		// 2 x 1600 nodes x 64B = ~200KB: >> L1, L2-resident; the fat
 		// per-node gather loop keeps the 64-entry window from hiding

@@ -71,6 +71,9 @@ func healthSizes(s Size) healthCfg {
 		return healthCfg{levels: 1, initPerV: 6, iters: 2, mutateDenom: 8}
 	case SizeSmall:
 		return healthCfg{levels: 3, initPerV: 16, iters: 3, mutateDenom: 8}
+	case SizeLarge:
+		// ~1400 villages: ~4x the full list+patient data (~1MB).
+		return healthCfg{levels: 5, initPerV: 11, iters: 9, mutateDenom: 8}
 	default:
 		// ~340 villages x 15 patients x 48B = ~0.25MB of list+patient
 		// data: far beyond the 64KB L1 (every list/patient access is an

@@ -55,6 +55,9 @@ func mstSizes(s Size) mstCfg {
 		return mstCfg{vertices: 10, buckets: 4}
 	case SizeSmall:
 		return mstCfg{vertices: 64, buckets: 16}
+	case SizeLarge:
+		// 256 tables x ~256 entries x 16B = ~1MB of hash chains.
+		return mstCfg{vertices: 256, buckets: 64}
 	default:
 		// 160 vertices -> 160 tables x ~160 entries x 16B = ~410KB of
 		// chain nodes plus bucket arrays.  Like the original's

@@ -37,6 +37,11 @@ const (
 	SizeSmall
 	// SizeFull drives the reported tables and figures.
 	SizeFull
+	// SizeLarge scales the structures 2-4x past SizeFull, pushing every
+	// memory-bound working set well beyond the L2.  It exists to stress
+	// the simulator at paper-scale inputs and became practical once the
+	// event-driven core made runs at this scale affordable.
+	SizeLarge
 )
 
 func (s Size) String() string {
@@ -47,6 +52,8 @@ func (s Size) String() string {
 		return "test"
 	case SizeSmall:
 		return "small"
+	case SizeLarge:
+		return "large"
 	}
 	return fmt.Sprintf("size(%d)", int(s))
 }

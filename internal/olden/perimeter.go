@@ -45,6 +45,8 @@ func perimeterSizes(s Size) (depth int) {
 		return 3
 	case SizeSmall:
 		return 6
+	case SizeLarge:
+		return 10 // ~4x the full quadtree, ~1.5MB of nodes
 	default:
 		return 8 // ~10-20K nodes x 32B
 	}

@@ -52,6 +52,9 @@ func powerSizes(s Size) powerCfg {
 		return powerCfg{feeders: 2, laterals: 2, branches: 2, iters: 2}
 	case SizeSmall:
 		return powerCfg{feeders: 4, laterals: 8, branches: 4, iters: 4}
+	case SizeLarge:
+		// power stays compute-bound by design; double the network.
+		return powerCfg{feeders: 8, laterals: 8, branches: 8, iters: 10}
 	default:
 		// ~1.4K nodes x 32B = ~45KB: L1-resident by design.
 		return powerCfg{feeders: 4, laterals: 8, branches: 8, iters: 10}

@@ -56,6 +56,9 @@ func spmvSizes(s Size) spmvCfg {
 		return spmvCfg{rows: 16, nnzPerRow: 4, iters: 2}
 	case SizeSmall:
 		return spmvCfg{rows: 512, nnzPerRow: 8, iters: 4}
+	case SizeLarge:
+		// 6K rows x 16 elements x 16B = ~1.5MB of element chains.
+		return spmvCfg{rows: 6 << 10, nnzPerRow: 16, iters: 10}
 	default:
 		// 2K rows x 12 elements x 16B = ~400KB of element chains.
 		return spmvCfg{rows: 2 << 10, nnzPerRow: 12, iters: 10}

@@ -45,6 +45,8 @@ func treeaddSizes(s Size) (depth, passes int) {
 		return 6, 2
 	case SizeSmall:
 		return 12, 3
+	case SizeLarge:
+		return 17, 3 // 128K nodes x 32B = 4MB, 8x the L2
 	default:
 		// 32K nodes x 32B = 1MB: twice the L2, so every sweep misses to
 		// memory, as the original's million-node tree does.  The paper

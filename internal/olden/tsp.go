@@ -49,6 +49,8 @@ func tspSizes(s Size) (cities int) {
 		return 32
 	case SizeSmall:
 		return 1024
+	case SizeLarge:
+		return 20000 // ~20K x 32B = 640KB tour nodes
 	default:
 		return 7000 // ~7K x 32B = 224KB tour nodes
 	}

@@ -47,6 +47,8 @@ func voronoiSizes(s Size) (points int) {
 		return 64
 	case SizeSmall:
 		return 4 << 10
+	case SizeLarge:
+		return 144 << 10 // 144K points x 8B = 1.1MB array
 	default:
 		return 48 << 10 // 48K points x 8B = 384KB array
 	}

@@ -86,19 +86,26 @@ type CycleBreakdown struct {
 
 // Account charges one cycle to category c.
 func (b *CycleBreakdown) Account(c Category) {
+	b.AccountN(c, 1)
+}
+
+// AccountN charges n cycles to category c at once.  The event-driven
+// core uses it to attribute a whole quiescent span in one call; the
+// result is identical to n individual Account calls.
+func (b *CycleBreakdown) AccountN(c Category, n uint64) {
 	switch c {
 	case CatBusy:
-		b.Busy++
+		b.Busy += n
 	case CatFetchStall:
-		b.FetchStall++
+		b.FetchStall += n
 	case CatWindowFull:
-		b.WindowFull++
+		b.WindowFull += n
 	case CatLoadMiss:
-		b.LoadMiss++
+		b.LoadMiss += n
 	case CatBusContention:
-		b.BusContention++
+		b.BusContention += n
 	default:
-		b.Other++
+		b.Other += n
 	}
 }
 

@@ -87,6 +87,8 @@ const (
 	SizeSmall = olden.SizeSmall
 	// SizeFull drives the reported tables and figures.
 	SizeFull = olden.SizeFull
+	// SizeLarge stresses paper-scale inputs (structures 2-4x SizeFull).
+	SizeLarge = olden.SizeLarge
 )
 
 // Config describes one simulation.
