@@ -6,6 +6,13 @@
 //	jppsim -bench health -scheme coop [-idiom chain] [-size full]
 //	       [-interval 8] [-memlat 70] [-split] [-stats-json]
 //
+// -validate ignores -bench/-scheme and instead runs the differential
+// validation matrix: every benchmark (or the -vbench list) and
+// -vprograms random micro-IR programs, each simulated under every
+// prefetch scheme with cycle skipping on and off, checked against an
+// in-order functional oracle.  It exits nonzero on any divergence.
+// -size applies (defaulting to small in this mode).
+//
 // -stats-json replaces the text block with the versioned stats snapshot
 // (cycle attribution, prefetch coverage/accuracy/timeliness, cache
 // counters); pipe it to `jppreport -stats` for the attribution table.
@@ -48,6 +55,10 @@ func run(args []string, out io.Writer) error {
 		split     = fs.Bool("split", false, "also run the compute-time decomposition")
 		statsJSON = fs.Bool("stats-json", false, "emit the versioned stats snapshot as JSON")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
+		doValid   = fs.Bool("validate", false, "run the differential validation matrix and exit")
+		vprograms = fs.Int("vprograms", 25, "validation: random program count (negative = none)")
+		vseed     = fs.Uint64("vseed", 1, "validation: first random program seed")
+		vbench    = fs.String("vbench", "", "validation: comma-separated benchmark list (default all)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile of the simulator to this file")
 	)
@@ -89,6 +100,38 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "%-10s %-55s idioms=%s passes=%d\n",
 				b.Name, b.Description, strings.Join(idioms, ","), b.Traversals)
+		}
+		return nil
+	}
+
+	if *doValid {
+		// -size defaults to small here: "full" is the single-run default,
+		// far larger than a whole matrix needs.
+		sizeSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "size" {
+				sizeSet = true
+			}
+		})
+		vsize := repro.SizeSmall
+		if sizeSet {
+			var err error
+			if vsize, err = parseSize(*size); err != nil {
+				return err
+			}
+		}
+		var benches []string
+		if *vbench != "" {
+			benches = strings.Split(*vbench, ",")
+		}
+		fails := repro.Validate(out, repro.ValidationOptions{
+			Benches:  benches,
+			Size:     vsize,
+			Programs: *vprograms,
+			Seed:     *vseed,
+		})
+		if len(fails) > 0 {
+			return fmt.Errorf("validation found %d divergence(s)", len(fails))
 		}
 		return nil
 	}

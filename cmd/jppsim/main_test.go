@@ -154,3 +154,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunValidateMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-validate", "-size", "test", "-vbench", "health,treeadd", "-vprograms", "2"}, &out)
+	if err != nil {
+		t.Fatalf("validate mode: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"kernel  health",
+		"kernel  treeadd",
+		"program seed=1",
+		"validate: 4 subjects, 0 failure(s)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("validate output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunValidateModeRejectsBadBench(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-validate", "-size", "test", "-vbench", "nosuch", "-vprograms", "-1"}, &out)
+	if err == nil {
+		t.Fatalf("unknown bench accepted:\n%s", out.String())
+	}
+}

@@ -87,10 +87,38 @@ type Config struct {
 	// flag exists for validation and throughput comparisons.
 	DisableCycleSkip bool
 
+	// InjectFault deliberately plants one architectural bug into the
+	// commit stage (see Fault).  It exists solely so the differential
+	// validation subsystem (internal/validate) can prove its oracle
+	// catches real core defects; production runs leave it at FaultNone.
+	InjectFault Fault
+	// FaultAfter is the committed sequence number at (or after) which
+	// the injected fault fires.
+	FaultAfter uint64
+
 	// Tracer, when non-nil, receives per-instruction pipeline events
 	// (used by cmd/jpptrace and tests; nil costs nothing).
 	Tracer Tracer
 }
+
+// Fault selects a deliberately injected commit-stage bug, used as a
+// mutation test of the differential validation driver: enabling one
+// must make the driver's digest comparison fail, or the driver proves
+// nothing.
+type Fault uint8
+
+// Injectable faults.
+const (
+	// FaultNone injects nothing (the production value).
+	FaultNone Fault = iota
+	// FaultDropCommit retires one instruction without reporting it: the
+	// tracer, the prefetch engine and the commit counters never see it
+	// (a lost commit).
+	FaultDropCommit
+	// FaultCorruptLoadValue flips the low bit of one committed load's
+	// value as observed at commit (a wrong architectural value).
+	FaultCorruptLoadValue
+)
 
 // Tracer observes pipeline events for every instruction.
 type Tracer interface {
@@ -256,6 +284,10 @@ type Core struct {
 	// scratch rebuilds the reduced DynInst handed to OnLoadComplete.
 	scratch ir.DynInst
 
+	// faultFired records that the configured InjectFault has been
+	// applied (each fault fires exactly once).
+	faultFired bool
+
 	s Stats
 }
 
@@ -342,14 +374,29 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 			if !e.issued || e.doneAt > c.now {
 				break
 			}
-			if c.eng != nil {
-				c.eng.OnCommit(c.now, &e.d)
+			dropped := false
+			if c.cfg.InjectFault != FaultNone && !c.faultFired && e.d.Seq >= c.cfg.FaultAfter {
+				switch c.cfg.InjectFault {
+				case FaultDropCommit:
+					c.faultFired = true
+					dropped = true
+				case FaultCorruptLoadValue:
+					if e.d.Class == ir.Load {
+						c.faultFired = true
+						e.d.Value ^= 1
+					}
+				}
 			}
-			if c.cfg.Tracer != nil {
-				c.cfg.Tracer.Trace(&e.d, e.dispatchedAt, e.issuedAt, e.doneAt)
+			if !dropped {
+				if c.eng != nil {
+					c.eng.OnCommit(c.now, &e.d)
+				}
+				if c.cfg.Tracer != nil {
+					c.cfg.Tracer.Trace(&e.d, e.dispatchedAt, e.issuedAt, e.doneAt)
+				}
+				c.s.CommitByCl[e.d.Class]++
+				c.s.Insts++
 			}
-			c.s.CommitByCl[e.d.Class]++
-			c.s.Insts++
 			if e.isMem {
 				c.lsqUsed--
 				if e.d.Class == ir.Store {

@@ -6,6 +6,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -23,6 +24,21 @@ import (
 type Spec struct {
 	Bench  string
 	Params olden.Params
+
+	// Kernel, when non-nil, supplies the workload directly instead of
+	// looking Bench up in the Olden registry; Bench then only labels the
+	// run.  The validate subsystem runs generated micro-IR programs
+	// through the full pipeline this way, and tests use it to inject
+	// failing workloads into batches.  The function is invoked once per
+	// run and must not build state shared between concurrent runs.
+	Kernel func(*ir.Asm)
+
+	// Timeout bounds the run's wall-clock time under RunGuarded and
+	// RunBatch; zero means no deadline.  A run that exceeds it is
+	// abandoned (its goroutine drains in the background — set
+	// CPU.MaxCycles as a hard backstop) and its slot reports a
+	// DeadlineError.
+	Timeout time.Duration
 
 	// Mem, CPU, DBP, HW override the Table 2 defaults when non-nil.
 	Mem *cache.Params
@@ -59,9 +75,13 @@ func (r Result) Cycles() uint64 { return r.CPU.Cycles }
 
 // Run executes one simulation to completion.
 func Run(spec Spec) (Result, error) {
-	bench, ok := olden.ByName(spec.Bench)
-	if !ok {
-		return Result{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+	kernel := spec.Kernel
+	if kernel == nil {
+		bench, ok := olden.ByName(spec.Bench)
+		if !ok {
+			return Result{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+		}
+		kernel = bench.Kernel(spec.Params)
 	}
 
 	memP := cache.Defaults()
@@ -106,7 +126,7 @@ func Run(spec Spec) (Result, error) {
 		}
 	}
 
-	gen := ir.NewGen(alloc, bench.Kernel(spec.Params))
+	gen := ir.NewGen(alloc, kernel)
 	c := cpu.New(cpuC, hier, pred, eng)
 	cpuStats := c.Run(gen)
 

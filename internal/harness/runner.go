@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -34,6 +37,54 @@ type DecompItem struct {
 	Err    error
 }
 
+// ErrDeadline marks a run abandoned for exceeding its Spec.Timeout.
+// Batch slots wrap it, so callers test with errors.Is.
+var ErrDeadline = errors.New("run deadline exceeded")
+
+// runRecover executes Run, converting a panicking simulation — a
+// kernel bug, a wedged configuration tripping an internal invariant —
+// into an ordinary error so one bad configuration cannot take down a
+// whole batch.
+func runRecover(spec Spec) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: run %s/%v panicked: %v\n%s",
+				spec.Bench, spec.Params.Scheme, r, debug.Stack())
+		}
+	}()
+	return Run(spec)
+}
+
+// RunGuarded is the fault-isolated Run used by the batch runner and the
+// validation driver: panics become errors, and when spec.Timeout is set
+// a wedged run is abandoned after the deadline and reported as
+// ErrDeadline.  An abandoned run's goroutine keeps simulating in the
+// background until it finishes on its own; callers that need a hard
+// stop should also set CPU.MaxCycles.
+func RunGuarded(spec Spec) (Result, error) {
+	if spec.Timeout <= 0 {
+		return runRecover(spec)
+	}
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runRecover(spec)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(spec.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return Result{}, fmt.Errorf("harness: run %s/%v exceeded %v: %w",
+			spec.Bench, spec.Params.Scheme, spec.Timeout, ErrDeadline)
+	}
+}
+
 // normWorkers resolves a worker-count request: values <= 0 select
 // GOMAXPROCS, and the pool never exceeds the number of jobs.
 func normWorkers(workers, jobs int) int {
@@ -51,8 +102,9 @@ func normWorkers(workers, jobs int) int {
 
 // RunBatch executes every spec and returns the results in input order.
 // At most workers simulations run concurrently (workers <= 0 selects
-// GOMAXPROCS).  Errors are captured per slot rather than aborting the
-// batch.
+// GOMAXPROCS).  Every slot is fault-isolated through RunGuarded:
+// errors, panics and deadline overruns are captured per slot rather
+// than aborting the batch (or, for panics, the whole process).
 func RunBatch(specs []Spec, workers int) []RunItem {
 	out := make([]RunItem, len(specs))
 	if len(specs) == 0 {
@@ -62,7 +114,7 @@ func RunBatch(specs []Spec, workers int) []RunItem {
 	if workers == 1 {
 		for i, s := range specs {
 			start := time.Now()
-			out[i].Result, out[i].Err = Run(s)
+			out[i].Result, out[i].Err = RunGuarded(s)
 			out[i].Elapsed = time.Since(start)
 		}
 		return out
@@ -75,7 +127,7 @@ func RunBatch(specs []Spec, workers int) []RunItem {
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				out[i].Result, out[i].Err = Run(specs[i])
+				out[i].Result, out[i].Err = RunGuarded(specs[i])
 				out[i].Elapsed = time.Since(start)
 			}
 		}()

@@ -1,10 +1,15 @@
 package harness
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/ir"
 	"repro/internal/olden"
 )
 
@@ -115,6 +120,103 @@ func TestDecomposeBatchCapturesErrors(t *testing.T) {
 	}
 	if firstDecompErr(items) == nil {
 		t.Fatal("firstDecompErr missed the captured error")
+	}
+}
+
+// panicSpec injects a kernel that emits some real work and then
+// panics mid-emission — the failure mode of a buggy workload or a
+// wedged configuration tripping an internal invariant.
+func panicSpec() Spec {
+	return Spec{
+		Bench:  "panicky",
+		Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+		Kernel: func(a *ir.Asm) {
+			for i := 0; i < 100; i++ {
+				a.Op(ir.FirstUserSite, ir.IntAlu, 1, ir.Imm(1), ir.Val{})
+			}
+			panic("injected kernel panic")
+		},
+	}
+}
+
+// TestRunBatchIsolatesPanics pins the fault-isolation contract: a
+// panicking simulation becomes that slot's error, and the neighbouring
+// slots still complete, under both the serial and parallel batch paths.
+func TestRunBatchIsolatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		specs := []Spec{
+			testSpec("health", core.SchemeNone),
+			panicSpec(),
+			testSpec("mst", core.SchemeNone),
+		}
+		items := RunBatch(specs, workers)
+		if items[1].Err == nil || !strings.Contains(items[1].Err.Error(), "injected kernel panic") {
+			t.Fatalf("workers=%d: panic slot error = %v, want the recovered panic", workers, items[1].Err)
+		}
+		for _, i := range []int{0, 2} {
+			if items[i].Err != nil {
+				t.Errorf("workers=%d: slot %d errored: %v", workers, i, items[i].Err)
+			}
+			if items[i].Result.CPU.Cycles == 0 {
+				t.Errorf("workers=%d: slot %d did not run", workers, i)
+			}
+		}
+	}
+}
+
+// RunGuarded without a timeout still converts panics to errors.
+func TestRunGuardedRecoversPanic(t *testing.T) {
+	_, err := RunGuarded(panicSpec())
+	if err == nil || !strings.Contains(err.Error(), "injected kernel panic") {
+		t.Fatalf("RunGuarded = %v, want recovered panic", err)
+	}
+}
+
+// TestRunGuardedDeadline wedges a run (a workload far too large for its
+// 1ms deadline) and checks it is abandoned and reported as ErrDeadline.
+// The spec also sets CPU.MaxCycles, the documented hard backstop, so
+// the abandoned goroutine terminates on its own instead of simulating
+// the full workload in the background.
+func TestRunGuardedDeadline(t *testing.T) {
+	cc := cpu.Defaults()
+	cc.MaxCycles = 2_000_000
+	spec := Spec{
+		Bench:  "wedge",
+		Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+		Kernel: func(a *ir.Asm) {
+			for i := 0; i < 20_000_000; i++ {
+				a.Op(ir.FirstUserSite, ir.IntAlu, uint32(i), ir.Imm(1), ir.Val{})
+			}
+		},
+		Timeout: time.Millisecond,
+		CPU:     &cc,
+	}
+	_, err := RunGuarded(spec)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("RunGuarded = %v, want ErrDeadline", err)
+	}
+}
+
+// Spec.Kernel runs instead of the registry benchmark, and the run
+// produces real architectural state.
+func TestRunCustomKernel(t *testing.T) {
+	spec := Spec{
+		Bench:  "custom",
+		Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+		Kernel: func(a *ir.Asm) {
+			p := a.Malloc(16)
+			a.Store(ir.FirstUserSite, p, 0, ir.Imm(0xabcd))
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Insts == 0 || res.CPU.Cycles == 0 {
+		t.Fatalf("custom kernel did not run: %+v", res.CPU)
+	}
+	if res.Heap.Allocs() != 1 {
+		t.Fatalf("custom kernel allocations = %d, want 1", res.Heap.Allocs())
 	}
 }
 

@@ -1,0 +1,87 @@
+package validate
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the pinned corpus digests (same convention as the
+// harness golden snapshots).  Only do this after convincing yourself a
+// digest change is an intended semantics change, not a regression.
+var updateCorpus = flag.Bool("update", false, "regenerate testdata/seeds.json")
+
+const corpusFile = "testdata/seeds.json"
+
+// corpusEntry pins one seed's reference digest.  Hashes are hex strings
+// so the file diffs readably and JSON number precision never matters.
+type corpusEntry struct {
+	Seed    uint64          `json:"seed"`
+	Insts   uint64          `json:"insts"`
+	MemHash string          `json:"memhash"`
+	HeapSum string          `json:"heapsum"`
+	Regs    [NumRegs]uint32 `json:"regs"`
+}
+
+func digestEntry(seed uint64, d Digest) corpusEntry {
+	return corpusEntry{
+		Seed:    seed,
+		Insts:   d.Insts,
+		MemHash: fmt.Sprintf("%016x", d.MemHash),
+		HeapSum: fmt.Sprintf("%016x", d.HeapSum),
+		Regs:    d.Regs,
+	}
+}
+
+// TestRegressionCorpus pins the reference digests of 25 seeds: the
+// generator and interpreter must keep producing bit-identical behavior
+// across refactors.  (The differential matrix then ties the timing core
+// to these same digests, so this file transitively pins the whole
+// stack.)
+func TestRegressionCorpus(t *testing.T) {
+	const seeds = 25
+	got := make([]corpusEntry, 0, seeds)
+	for seed := uint64(1); seed <= seeds; seed++ {
+		d, err := Interpret(Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got = append(got, digestEntry(seed, d))
+	}
+
+	if *updateCorpus {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(corpusFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(corpusFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d seeds)", corpusFile, seeds)
+		return
+	}
+
+	data, err := os.ReadFile(corpusFile)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/validate -run TestRegressionCorpus -update` to create it)", err)
+	}
+	var want []corpusEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", corpusFile, err)
+	}
+	if len(want) != seeds {
+		t.Fatalf("%s has %d entries, want %d", corpusFile, len(want), seeds)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("seed %d digest changed:\n  got  %+v\n  want %+v\n(intended? regenerate with -update)",
+				w.Seed, got[i], w)
+		}
+	}
+}

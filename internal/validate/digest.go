@@ -1,0 +1,156 @@
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// userPC is the first program counter of user-site instructions; PCs
+// below it belong to the simulated runtime (malloc/free) and to the
+// lowering's prologue bookkeeping.
+var userPC = ir.SitePC(ir.FirstUserSite)
+
+// Digest is the architectural fingerprint of one program execution.
+// Two executions of the same workload must produce identical digests
+// no matter which prefetch scheme, cycle-skip mode or pipeline ran
+// them — prefetching may only move cycles, never architectural state.
+type Digest struct {
+	// Insts is the dynamic instruction count.
+	Insts uint64
+	// MemHash chains every load and store in order: class, the FLDS
+	// tag, effective address and data value.
+	MemHash uint64
+	// HeapSum is heap.PayloadChecksum over the final live heap.
+	HeapSum uint64
+	// Regs is the final register file (program runs; zero for Olden
+	// kernels, which have no micro-IR register file).
+	Regs [NumRegs]uint32
+}
+
+func (d Digest) String() string {
+	return fmt.Sprintf("insts=%d memhash=%#016x heapsum=%#016x regs=%v",
+		d.Insts, d.MemHash, d.HeapSum, d.Regs)
+}
+
+// FNV-1a, accumulated a byte at a time so both digest producers hash
+// the identical byte stream.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// digestAcc accumulates an instruction stream into digest fields.
+type digestAcc struct {
+	insts uint64
+	h     uint64
+}
+
+func newDigestAcc() digestAcc { return digestAcc{h: fnvOffset} }
+
+func (a *digestAcc) byte(b byte) {
+	a.h = (a.h ^ uint64(b)) * fnvPrime
+}
+
+func (a *digestAcc) word(w uint32) {
+	a.byte(byte(w))
+	a.byte(byte(w >> 8))
+	a.byte(byte(w >> 16))
+	a.byte(byte(w >> 24))
+}
+
+// mem folds one memory operation into the hash.  The tag byte packs the
+// instruction class with the LDS marker so a load and a store to the
+// same address/value, or an untagged copy of a tagged load, still
+// diverge.
+func (a *digestAcc) mem(class ir.Class, lds bool, addr, value uint32) {
+	tag := byte(class)
+	if lds {
+		tag |= 0x80
+	}
+	a.byte(tag)
+	a.word(addr)
+	a.word(value)
+}
+
+// note folds one dynamic instruction into the accumulator.
+func (a *digestAcc) note(d *ir.DynInst) {
+	a.insts++
+	switch d.Class {
+	case ir.Load, ir.Store:
+		a.mem(d.Class, d.Flags&ir.FLDS != 0, d.Addr, d.Value)
+	}
+}
+
+func (a *digestAcc) digest(heapSum uint64, regs [NumRegs]uint32) Digest {
+	return Digest{Insts: a.insts, MemHash: a.h, HeapSum: heapSum, Regs: regs}
+}
+
+// Oracle executes a kernel functionally, in order, with no pipeline and
+// no cache: it drains the kernel's dynamic instruction stream exactly
+// as the timing core would receive it and digests the architectural
+// outcome.  It returns the digest over the full stream, the digest
+// restricted to user-site instructions (the scope the reference
+// interpreter models), and the kernel's emission statistics.
+//
+// withRegs selects reading the final register file back from the
+// lowering's result block (program runs); Olden kernels pass false.
+func Oracle(kernel func(*ir.Asm), withRegs bool) (full, user Digest, st ir.Stats) {
+	img := mem.NewImage()
+	alloc := heap.New(img)
+	gen := ir.NewGen(alloc, kernel)
+	fa, ua := newDigestAcc(), newDigestAcc()
+	for d := gen.Next(); d != nil; d = gen.Next() {
+		fa.note(d)
+		if d.PC >= userPC {
+			ua.note(d)
+		}
+	}
+	sum := alloc.PayloadChecksum()
+	var regs [NumRegs]uint32
+	if withRegs {
+		regs = finalRegs(alloc)
+	}
+	return fa.digest(sum, regs), ua.digest(sum, regs), gen.Stats()
+}
+
+// Collector digests the committed instruction stream of a timing-core
+// run.  It implements cpu.Tracer: the core invokes Trace once per
+// commit, in program order, so a core that loses, duplicates, reorders
+// or corrupts a commit produces a digest that cannot match the
+// oracle's.  One Collector serves one run.
+type Collector struct {
+	full, user digestAcc
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{full: newDigestAcc(), user: newDigestAcc()}
+}
+
+// Trace folds one committed instruction into the digests.
+func (c *Collector) Trace(d *ir.DynInst, _, _, _ uint64) {
+	c.full.note(d)
+	if d.PC >= userPC {
+		c.user.note(d)
+	}
+}
+
+// Digests finalizes the collector against the run's end-of-run heap
+// state.
+func (c *Collector) Digests(heapSum uint64, regs [NumRegs]uint32) (full, user Digest) {
+	return c.full.digest(heapSum, regs), c.user.digest(heapSum, regs)
+}
+
+// finalRegs reads the register file the lowering's epilogue spilled to
+// the result block (the program's first heap allocation).
+func finalRegs(alloc *heap.Allocator) [NumRegs]uint32 {
+	var regs [NumRegs]uint32
+	img := alloc.Image()
+	for r := range regs {
+		regs[r] = img.ReadWord(resultBase + uint32(r)*mem.WordBytes)
+	}
+	return regs
+}

@@ -1,0 +1,32 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzValidateProgram feeds arbitrary seeds through the whole
+// differential stack: generate, statically check, interpret, lower,
+// drain the oracle and run the timing core (baseline and the hardware
+// jump-pointer scheme, cycle skipping on and off), asserting digest
+// agreement everywhere.  Any divergence — a generator emitting a
+// trapping program, a lowering mismatch, a core commit bug — is a
+// crash for the fuzzer to minimize.
+//
+// CI runs this for a fixed wall-clock slice (see the fuzz job); the
+// seed corpus doubles as a quick regression sweep under plain
+// `go test`.
+func FuzzValidateProgram(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(uint64(1) << 40)
+	f.Add(^uint64(0))
+	cfg := Config{Schemes: []core.Scheme{core.SchemeNone, core.SchemeHardware}}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, fail := range CheckProgram(seed, cfg) {
+			t.Errorf("%s", fail)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// ErrTrap is the dynamic-execution failure class: every trap the
+// interpreter raises (nil or wild pointer dereference, chase through a
+// garbage pointer, dynamic budget exhausted) wraps it.
+var ErrTrap = errors.New("validate: trap")
+
+// MaxDynInsts bounds a program's dynamic user-site instruction count;
+// the interpreter traps past it, so even an adversarial well-formed
+// program terminates.
+const MaxDynInsts = 1 << 22
+
+// Interpret executes a program on the in-order reference machine: a
+// register file, the simulated heap allocator and a flat memory image —
+// no pipeline, no cache, no prefetch engine, and no code shared with
+// the timing path beyond the heap/memory primitives both sides define
+// their semantics on.  It returns the user-scope architectural Digest.
+//
+// The interpreter implements the cost model documented on Opcode
+// independently of Lower; the differential driver asserts the two
+// agree on every program.
+func Interpret(p Program) (Digest, error) {
+	match, err := p.Check()
+	if err != nil {
+		return Digest{}, err
+	}
+
+	img := mem.NewImage()
+	alloc := heap.New(img)
+	res := uint32(alloc.AllocIn(0, resultPayload))
+
+	var regs [NumRegs]uint32
+	acc := newDigestAcc()
+
+	trap := func(i int, format string, args ...any) error {
+		detail := fmt.Sprintf(format, args...)
+		return fmt.Errorf("%w: inst %d (%s): %s", ErrTrap, i, p.Insts[i].Op, detail)
+	}
+	// Data addresses must land inside the simulated heap; address 0 is
+	// the null pointer, so a nil-pointer chase traps here too.
+	valid := func(addr uint32) bool { return alloc.Contains(addr) }
+
+	// Loop activation frames (OpIfZ needs none: its OpEnd is inert).
+	type frame struct {
+		open, end int
+		left      uint32
+	}
+	var stack []frame
+
+	for i := 0; i < len(p.Insts); i++ {
+		in := p.Insts[i]
+		switch in.Op {
+		case OpImm:
+			regs[in.A] = in.K
+			acc.insts++
+		case OpAdd:
+			regs[in.A] = regs[in.B] + regs[in.C]
+			acc.insts++
+		case OpSub:
+			regs[in.A] = regs[in.B] - regs[in.C]
+			acc.insts++
+		case OpXor:
+			regs[in.A] = regs[in.B] ^ regs[in.C]
+			acc.insts++
+		case OpMul:
+			regs[in.A] = regs[in.B] * regs[in.C]
+			acc.insts++
+		case OpAddImm:
+			regs[in.A] = regs[in.B] + in.K
+			acc.insts++
+		case OpLoad, OpLoadLDS:
+			addr := regs[in.B] + in.K
+			if !valid(addr) {
+				return Digest{}, trap(i, "load from unmapped address %#x (base %#x)", addr, regs[in.B])
+			}
+			v := img.ReadWord(addr)
+			regs[in.A] = v
+			acc.insts++
+			acc.mem(ir.Load, in.Op == OpLoadLDS, addr, v)
+		case OpStore:
+			addr := regs[in.B] + in.K
+			if !valid(addr) {
+				return Digest{}, trap(i, "store to unmapped address %#x (base %#x)", addr, regs[in.B])
+			}
+			v := regs[in.A]
+			img.WriteWord(addr, v)
+			acc.insts++
+			acc.mem(ir.Store, false, addr, v)
+		case OpAlloc:
+			regs[in.A] = uint32(alloc.AllocIn(0, in.K))
+		case OpLoop:
+			stack = append(stack, frame{open: i, end: match[i], left: in.K})
+			acc.insts++ // counter init
+		case OpIfZ:
+			acc.insts++ // the guarding branch
+			if regs[in.A] != 0 {
+				i = match[i] // skip the body; its OpEnd is inert
+			}
+		case OpEnd:
+			if n := len(stack); n > 0 && stack[n-1].end == i {
+				f := &stack[n-1]
+				f.left--
+				acc.insts += 2 // counter decrement + backward branch
+				if f.left > 0 {
+					i = f.open
+				} else {
+					stack = stack[:n-1]
+				}
+			}
+		case OpChase:
+			cur := regs[in.B]
+			steps := int(in.C) + 1
+			for s := 0; s < steps; s++ {
+				addr := cur + in.K
+				if !valid(addr) {
+					return Digest{}, trap(i, "chase through invalid pointer %#x (step %d)", cur, s)
+				}
+				next := img.ReadWord(addr)
+				acc.insts += 2 // the load and its loop branch
+				acc.mem(ir.Load, true, addr, next)
+				if next == 0 {
+					break
+				}
+				cur = next
+			}
+			regs[in.A] = cur
+		}
+		if acc.insts > MaxDynInsts {
+			return Digest{}, trap(i, "dynamic budget exceeded (%d instructions)", MaxDynInsts)
+		}
+	}
+
+	// Epilogue: spill the register file to the result block so the final
+	// registers are architectural heap state, covered by the checksum.
+	for r := 0; r < NumRegs; r++ {
+		addr := res + uint32(r)*mem.WordBytes
+		img.WriteWord(addr, regs[r])
+		acc.insts++
+		acc.mem(ir.Store, false, addr, regs[r])
+	}
+
+	return acc.digest(alloc.PayloadChecksum(), regs), nil
+}

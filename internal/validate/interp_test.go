@@ -1,0 +1,371 @@
+package validate
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// mirrorAllocs replays the interpreter's allocation sequence (result
+// block first, then each payload size in order) on a fresh heap and
+// returns the resulting addresses — so tests state expected pointer
+// values without hardcoding allocator layout.
+func mirrorAllocs(sizes ...uint32) []uint32 {
+	alloc := heap.New(mem.NewImage())
+	alloc.AllocIn(0, resultPayload)
+	out := make([]uint32, len(sizes))
+	for i, n := range sizes {
+		out[i] = uint32(alloc.AllocIn(0, n))
+	}
+	return out
+}
+
+func mustInterpret(t *testing.T, p Program) Digest {
+	t.Helper()
+	d, err := Interpret(p)
+	if err != nil {
+		t.Fatalf("Interpret: %v", err)
+	}
+	return d
+}
+
+// epilogue is the register spill every program execution ends with.
+const epilogue = NumRegs
+
+func TestInterpretOpcodes(t *testing.T) {
+	nodes := mirrorAllocs(16, 16, 16)
+	tests := []struct {
+		name  string
+		insts []Inst
+		// wantInsts is the full dynamic count including the epilogue.
+		wantInsts uint64
+		// wantRegs lists the registers whose final value matters.
+		wantRegs map[uint8]uint32
+	}{
+		{
+			name:      "imm",
+			insts:     []Inst{{Op: OpImm, A: 0, K: 5}},
+			wantInsts: 1 + epilogue,
+			wantRegs:  map[uint8]uint32{0: 5},
+		},
+		{
+			name: "add",
+			insts: []Inst{
+				{Op: OpImm, A: 0, K: 2}, {Op: OpImm, A: 1, K: 3},
+				{Op: OpAdd, A: 2, B: 0, C: 1},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{2: 5},
+		},
+		{
+			name: "sub-wraps",
+			insts: []Inst{
+				{Op: OpImm, A: 0, K: 2}, {Op: OpImm, A: 1, K: 3},
+				{Op: OpSub, A: 2, B: 0, C: 1},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{2: 0xffffffff},
+		},
+		{
+			name: "xor",
+			insts: []Inst{
+				{Op: OpImm, A: 0, K: 6}, {Op: OpImm, A: 1, K: 3},
+				{Op: OpXor, A: 2, B: 0, C: 1},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{2: 5},
+		},
+		{
+			name: "mul",
+			insts: []Inst{
+				{Op: OpImm, A: 0, K: 7}, {Op: OpImm, A: 1, K: 3},
+				{Op: OpMul, A: 2, B: 0, C: 1},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{2: 21},
+		},
+		{
+			name:      "addimm",
+			insts:     []Inst{{Op: OpImm, A: 0, K: 40}, {Op: OpAddImm, A: 1, B: 0, K: 2}},
+			wantInsts: 2 + epilogue,
+			wantRegs:  map[uint8]uint32{1: 42},
+		},
+		{
+			name: "alloc-store-load",
+			insts: []Inst{
+				{Op: OpAlloc, A: 1, K: 16}, // counts 0 user insts
+				{Op: OpImm, A: 0, K: 0x1234},
+				{Op: OpStore, A: 0, B: 1, K: 4},
+				{Op: OpLoad, A: 2, B: 1, K: 4},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{1: nodes[0], 2: 0x1234},
+		},
+		{
+			name: "load-lds-same-semantics",
+			insts: []Inst{
+				{Op: OpAlloc, A: 1, K: 16},
+				{Op: OpImm, A: 0, K: 0x1234},
+				{Op: OpStore, A: 0, B: 1, K: 4},
+				{Op: OpLoadLDS, A: 2, B: 1, K: 4},
+			},
+			wantInsts: 3 + epilogue,
+			wantRegs:  map[uint8]uint32{2: 0x1234},
+		},
+		{
+			name: "loop",
+			insts: []Inst{
+				{Op: OpLoop, K: 3},
+				{Op: OpAddImm, A: 0, B: 0, K: 2},
+				{Op: OpEnd},
+			},
+			// init + 3 x (body + decrement + branch)
+			wantInsts: 1 + 3*(1+2) + epilogue,
+			wantRegs:  map[uint8]uint32{0: 6},
+		},
+		{
+			name: "nested-loop",
+			insts: []Inst{
+				{Op: OpLoop, K: 2},
+				{Op: OpLoop, K: 3},
+				{Op: OpAddImm, A: 0, B: 0, K: 1},
+				{Op: OpEnd},
+				{Op: OpEnd},
+			},
+			wantInsts: 1 + 2*((1+3*(1+2))+2) + epilogue,
+			wantRegs:  map[uint8]uint32{0: 6},
+		},
+		{
+			name: "ifz-taken",
+			insts: []Inst{
+				{Op: OpIfZ, A: 0}, // r0 == 0: body runs
+				{Op: OpAddImm, A: 1, B: 1, K: 5},
+				{Op: OpEnd},
+			},
+			wantInsts: 1 + 1 + epilogue,
+			wantRegs:  map[uint8]uint32{1: 5},
+		},
+		{
+			name: "ifz-skipped",
+			insts: []Inst{
+				{Op: OpImm, A: 0, K: 1},
+				{Op: OpIfZ, A: 0}, // r0 != 0: body skipped
+				{Op: OpAddImm, A: 1, B: 1, K: 5},
+				{Op: OpEnd},
+			},
+			wantInsts: 1 + 1 + epilogue,
+			wantRegs:  map[uint8]uint32{1: 0},
+		},
+		{
+			name: "chase-to-end",
+			insts: []Inst{
+				{Op: OpAlloc, A: 2, K: 16},
+				{Op: OpAlloc, A: 3, K: 16},
+				{Op: OpAlloc, A: 4, K: 16},
+				{Op: OpStore, A: 3, B: 2, K: 0}, // a.next = b
+				{Op: OpStore, A: 4, B: 3, K: 0}, // b.next = c
+				{Op: OpChase, A: 6, B: 2, C: 255, K: 0},
+			},
+			// 2 stores + 3 chase steps (a->b, b->c, c->nil) x 2 each
+			wantInsts: 2 + 3*2 + epilogue,
+			wantRegs:  map[uint8]uint32{6: nodes[2]},
+		},
+		{
+			name: "chase-capped",
+			insts: []Inst{
+				{Op: OpAlloc, A: 2, K: 16},
+				{Op: OpAlloc, A: 3, K: 16},
+				{Op: OpAlloc, A: 4, K: 16},
+				{Op: OpStore, A: 3, B: 2, K: 0},
+				{Op: OpStore, A: 4, B: 3, K: 0},
+				{Op: OpChase, A: 6, B: 2, C: 0, K: 0}, // at most 1 step
+			},
+			wantInsts: 2 + 1*2 + epilogue,
+			wantRegs:  map[uint8]uint32{6: nodes[1]},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := mustInterpret(t, Program{Insts: tt.insts})
+			if d.Insts != tt.wantInsts {
+				t.Errorf("dynamic instructions = %d, want %d", d.Insts, tt.wantInsts)
+			}
+			for r, want := range tt.wantRegs {
+				if got := d.Regs[r]; got != want {
+					t.Errorf("r%d = %#x, want %#x", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// The FLDS tag must reach the digest: two programs identical except for
+// the load flavor agree on registers but not on the stream hash.
+func TestInterpretLDSTagInDigest(t *testing.T) {
+	mk := func(op Opcode) Program {
+		return Program{Insts: []Inst{
+			{Op: OpAlloc, A: 1, K: 16},
+			{Op: op, A: 2, B: 1, K: 4},
+		}}
+	}
+	plain := mustInterpret(t, mk(OpLoad))
+	lds := mustInterpret(t, mk(OpLoadLDS))
+	if plain.Regs != lds.Regs || plain.Insts != lds.Insts {
+		t.Fatalf("LDS flavor changed semantics: %v vs %v", plain, lds)
+	}
+	if plain.MemHash == lds.MemHash {
+		t.Errorf("LDS tag not digested: both hashes %#x", plain.MemHash)
+	}
+}
+
+// The epilogue spill makes the final register file architectural heap
+// state: a different final register must change the heap checksum.
+func TestInterpretRegsReachHeapChecksum(t *testing.T) {
+	mk := func(k uint32) Program {
+		return Program{Insts: []Inst{{Op: OpImm, A: 7, K: k}}}
+	}
+	a := mustInterpret(t, mk(1))
+	b := mustInterpret(t, mk(2))
+	if a.HeapSum == b.HeapSum {
+		t.Errorf("register spill not covered by heap checksum: both %#x", a.HeapSum)
+	}
+}
+
+func TestInterpretTraps(t *testing.T) {
+	budget := []Inst{
+		{Op: OpLoop, K: 1 << 12},
+		{Op: OpLoop, K: 1 << 12},
+		{Op: OpAddImm, A: 0, B: 0, K: 1},
+		{Op: OpEnd},
+		{Op: OpEnd},
+	}
+	tests := []struct {
+		name  string
+		insts []Inst
+	}{
+		{"nil-chase", []Inst{{Op: OpChase, A: 1, B: 0, C: 3, K: 0}}},
+		{"garbage-chase", []Inst{
+			{Op: OpImm, A: 0, K: 0x42},
+			{Op: OpChase, A: 1, B: 0, C: 3, K: 0},
+		}},
+		{"nil-load", []Inst{{Op: OpLoad, A: 1, B: 0, K: 0}}},
+		{"nil-store", []Inst{{Op: OpStore, A: 1, B: 0, K: 0}}},
+		{"wild-load", []Inst{
+			{Op: OpImm, A: 0, K: 0xdeadbeef},
+			{Op: OpLoad, A: 1, B: 0, K: 0},
+		}},
+		{"past-allocation-load", []Inst{
+			{Op: OpAlloc, A: 0, K: 16},
+			{Op: OpAddImm, A: 0, B: 0, K: 1 << 20},
+			{Op: OpLoad, A: 1, B: 0, K: 0},
+		}},
+		{"budget", budget},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Interpret(Program{Insts: tt.insts})
+			if !errors.Is(err, ErrTrap) {
+				t.Errorf("Interpret = %v, want ErrTrap", err)
+			}
+		})
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	deep := make([]Inst, 0, 2*(MaxNesting+1)+1)
+	for i := 0; i <= MaxNesting; i++ {
+		deep = append(deep, Inst{Op: OpLoop, K: 1})
+	}
+	deep = append(deep, Inst{Op: OpAddImm})
+	for i := 0; i <= MaxNesting; i++ {
+		deep = append(deep, Inst{Op: OpEnd})
+	}
+	long := make([]Inst, MaxProgLen+1)
+
+	tests := []struct {
+		name  string
+		insts []Inst
+	}{
+		{"dest-register-out-of-range", []Inst{{Op: OpImm, A: NumRegs}}},
+		{"src-register-out-of-range", []Inst{{Op: OpAdd, A: 0, B: 0, C: NumRegs}}},
+		{"base-register-out-of-range", []Inst{{Op: OpLoad, A: 0, B: NumRegs}}},
+		{"chase-register-out-of-range", []Inst{{Op: OpChase, A: 0, B: 200}}},
+		{"zero-trip-loop", []Inst{{Op: OpLoop, K: 0}, {Op: OpAddImm}, {Op: OpEnd}}},
+		{"unmatched-end", []Inst{{Op: OpEnd}}},
+		{"unclosed-loop", []Inst{{Op: OpLoop, K: 1}, {Op: OpAddImm}}},
+		{"empty-body", []Inst{{Op: OpLoop, K: 1}, {Op: OpEnd}}},
+		{"unknown-opcode", []Inst{{Op: numOpcodes}}},
+		{"too-deep", deep},
+		{"too-long", long},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := (Program{Insts: tt.insts}).Check(); !errors.Is(err, ErrMalformed) {
+				t.Errorf("Check = %v, want ErrMalformed", err)
+			}
+			// Interpret and Lower must surface the same static error.
+			if _, err := Interpret(Program{Insts: tt.insts}); !errors.Is(err, ErrMalformed) {
+				t.Errorf("Interpret = %v, want ErrMalformed", err)
+			}
+			if _, err := Lower(Program{Insts: tt.insts}); !errors.Is(err, ErrMalformed) {
+				t.Errorf("Lower = %v, want ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestCheckMatchIndices(t *testing.T) {
+	p := Program{Insts: []Inst{
+		{Op: OpLoop, K: 2}, // 0 -> 5
+		{Op: OpIfZ, A: 0},  // 1 -> 3
+		{Op: OpAddImm},     // 2
+		{Op: OpEnd},        // 3
+		{Op: OpAddImm},     // 4
+		{Op: OpEnd},        // 5
+	}}
+	match, err := p.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	want := []int{5, 3, 0, 0, 0, 0}
+	if !reflect.DeepEqual(match, want) {
+		t.Errorf("match = %v, want %v", match, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate not deterministic", seed)
+		}
+		da := mustInterpret(t, a)
+		db := mustInterpret(t, b)
+		if da != db {
+			t.Fatalf("seed %d: Interpret not deterministic: %v vs %v", seed, da, db)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Error("distinct seeds produced identical programs")
+	}
+}
+
+// Every generated program must be well-formed and trap-free: the
+// generator's core contract (the fuzz target extends this to arbitrary
+// seeds).
+func TestGenerateWellFormed(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		p := Generate(seed)
+		if _, err := p.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d, err := Interpret(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		} else if d.Insts == 0 {
+			t.Fatalf("seed %d: empty execution", seed)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// Lowering geometry.  Static instruction i owns the site group
+// [FirstUserSite + i*sitesPerOp, ...+sitesPerOp): slot 0 is the
+// operation itself, slots 1-2 carry a loop's decrement and backward
+// branch, so every static micro-IR op has stable, distinct PCs — the
+// granularity the PC-indexed prefetch predictors train on.
+const sitesPerOp = 4
+
+// The result block is the program's first heap allocation: NumRegs
+// words the epilogue spills the register file into, making the final
+// registers ordinary architectural heap state.  The bump allocator
+// places the first allocation at heap.Base, so its address is a
+// constant both executions share.
+const (
+	resultPayload = NumRegs * mem.WordBytes
+	resultBase    = uint32(heap.Base)
+)
+
+// Lower compiles a checked program into an ir.Asm kernel for the
+// timing simulator.  The kernel both functionally executes the program
+// (the Asm API is execution-driven) and emits one dynamic instruction
+// stream per the cost model documented on Opcode.  The returned kernel
+// is pure: it may be invoked once per run from concurrent runs.
+func Lower(p Program) (func(*ir.Asm), error) {
+	match, err := p.Check()
+	if err != nil {
+		return nil, err
+	}
+	insts := append([]Inst(nil), p.Insts...)
+	return func(a *ir.Asm) {
+		site := func(i int) int { return ir.FirstUserSite + i*sitesPerOp }
+
+		// Prologue: the result block.  Malloc's bookkeeping instructions
+		// live at runtime sites, outside the user scope.
+		resPtr := a.Malloc(resultPayload)
+		if resPtr.U32() != resultBase {
+			panic(fmt.Sprintf("validate: result block at %#x, want %#x (allocator layout changed?)",
+				resPtr.U32(), resultBase))
+		}
+
+		var regs [NumRegs]ir.Val
+		type frame struct {
+			open, end int
+			left      uint32
+			ctr       ir.Val
+		}
+		var stack []frame
+
+		for i := 0; i < len(insts); i++ {
+			in := insts[i]
+			s := site(i)
+			switch in.Op {
+			case OpImm:
+				regs[in.A] = a.Op(s, ir.IntAlu, in.K, ir.Imm(in.K), ir.Val{})
+			case OpAdd:
+				regs[in.A] = a.Op(s, ir.IntAlu, regs[in.B].U32()+regs[in.C].U32(), regs[in.B], regs[in.C])
+			case OpSub:
+				regs[in.A] = a.Op(s, ir.IntAlu, regs[in.B].U32()-regs[in.C].U32(), regs[in.B], regs[in.C])
+			case OpXor:
+				regs[in.A] = a.Op(s, ir.IntAlu, regs[in.B].U32()^regs[in.C].U32(), regs[in.B], regs[in.C])
+			case OpMul:
+				regs[in.A] = a.Op(s, ir.IntMult, regs[in.B].U32()*regs[in.C].U32(), regs[in.B], regs[in.C])
+			case OpAddImm:
+				regs[in.A] = a.AddImm(s, regs[in.B], in.K)
+			case OpLoad:
+				regs[in.A] = a.Load(s, regs[in.B], in.K, 0)
+			case OpLoadLDS:
+				regs[in.A] = a.Load(s, regs[in.B], in.K, ir.FLDS)
+			case OpStore:
+				a.Store(s, regs[in.B], in.K, regs[in.A])
+			case OpAlloc:
+				regs[in.A] = a.Malloc(in.K)
+			case OpLoop:
+				ctr := a.Op(s, ir.IntAlu, in.K, ir.Imm(in.K), ir.Val{})
+				stack = append(stack, frame{open: i, end: match[i], left: in.K, ctr: ctr})
+			case OpIfZ:
+				cond := regs[in.A]
+				taken := cond.U32() != 0 // branch around the body
+				a.Branch(s, taken, site(match[i]+1), cond, ir.Val{})
+				if taken {
+					i = match[i] // its OpEnd is inert
+				}
+			case OpEnd:
+				if n := len(stack); n > 0 && stack[n-1].end == i {
+					f := &stack[n-1]
+					f.left--
+					f.ctr = a.Op(site(f.open)+1, ir.IntAlu, f.ctr.U32()-1, f.ctr, ir.Val{})
+					taken := f.left > 0 // backward branch to the body
+					a.Branch(site(f.open)+2, taken, site(f.open+1), f.ctr, ir.Val{})
+					if taken {
+						i = f.open
+					} else {
+						stack = stack[:n-1]
+					}
+				}
+			case OpChase:
+				cur := regs[in.B]
+				steps := int(in.C) + 1
+				for st := 0; st < steps; st++ {
+					next := a.Load(s, cur, in.K, ir.FLDS)
+					more := next.U32() != 0 && st+1 < steps
+					a.Branch(s+1, more, s, next, ir.Val{})
+					if next.IsNil() {
+						break
+					}
+					cur = next
+				}
+				regs[in.A] = cur
+			}
+		}
+
+		// Epilogue: spill the register file to the result block.
+		for r := 0; r < NumRegs; r++ {
+			a.Store(site(len(insts))+r, resPtr, uint32(r)*mem.WordBytes, regs[r])
+		}
+	}, nil
+}

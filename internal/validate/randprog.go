@@ -1,0 +1,168 @@
+package validate
+
+// The random program generator emits well-formed micro-IR kernels by
+// construction: structured control flow, registers in range, and every
+// pointer it dereferences rooted in an allocation it made — Interpret
+// never traps on its output (the fuzz target holds it to that).  The
+// shapes are chosen to exercise the paths the prefetch machinery
+// trains on: pointer chains built with recurrent stores, chased with
+// same-PC dependent loads, payload read-modify-write on the chased
+// nodes, conditional work, and ALU noise between memory operations.
+
+// Node layout used by every generated structure.
+const (
+	genLinkOffA  = 0 // primary next pointer ("backbone")
+	genLinkOffB  = 4 // secondary pointer ("rib" / right child)
+	genPayloadOf = 8 // payload word
+)
+
+// Register roles (all < NumRegs).
+const (
+	rAcc    = 0 // running accumulator
+	rTmp    = 1 // scratch
+	rHeadA  = 2 // first structure head
+	rHeadB  = 3 // second structure head
+	rCursor = 4 // build cursor
+	rNode   = 5 // freshly allocated node
+	rWalk   = 6 // chase destination
+	rVal    = 7 // payload scratch
+)
+
+// prng is the same xorshift generator the Olden kernels use, kept
+// local so generated programs never depend on another package's seed
+// discipline.
+type prng uint64
+
+func newPRNG(seed uint64) *prng {
+	r := prng(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *prng) next() uint32 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = prng(x)
+	return uint32(x >> 32)
+}
+
+func (r *prng) intn(n int) int { return int(r.next() % uint32(n)) }
+
+// progGen accumulates instructions.
+type progGen struct {
+	r     *prng
+	insts []Inst
+}
+
+func (g *progGen) emit(op Opcode, a, b, c uint8, k uint32) {
+	g.insts = append(g.insts, Inst{Op: op, A: a, B: b, C: c, K: k})
+}
+
+// Generate produces the deterministic random program for a seed.  The
+// same seed always yields the same program, so seeds double as a
+// regression-corpus key (see testdata/seeds.json).
+func Generate(seed uint64) Program {
+	g := &progGen{r: newPRNG(seed)}
+
+	// One or two linked structures, with their own node size (sizes that
+	// are not powers of two leave block padding, the storage the
+	// hardware jump-pointer scheme plants pointers in) and link offset
+	// (offset B makes a right-spine "tree" shape).
+	sizes := []uint32{12, 16, 20, 24, 40}
+	nLists := 1 + g.r.intn(2)
+	heads := []uint8{rHeadA, rHeadB}[:nLists]
+	links := make([]uint32, nLists)
+	for l, head := range heads {
+		size := sizes[g.r.intn(len(sizes))]
+		link := uint32(genLinkOffA)
+		if g.r.intn(3) == 0 {
+			link = genLinkOffB
+		}
+		links[l] = link
+		g.buildList(head, size, link, 4+g.r.intn(20))
+	}
+
+	// Traversal passes over everything built, with noise between.
+	passes := 1 + g.r.intn(3)
+	g.emit(OpLoop, 0, 0, 0, uint32(passes))
+	for l, head := range heads {
+		g.traverse(head, links[l])
+		if l == 0 {
+			g.noise()
+		}
+	}
+	g.emit(OpEnd, 0, 0, 0, 0)
+
+	// Final mixing so every register's history reaches the digest.
+	g.emit(OpXor, rAcc, rAcc, rVal, 0)
+	g.emit(OpAdd, rTmp, rTmp, rWalk, 0)
+	return Program{Insts: g.insts}
+}
+
+// buildList allocates a head node and appends n more through the link
+// offset — the recurrent store pattern (node.next written one
+// iteration after node was loaded/created) that trains the dependence
+// predictor once the chain is chased back.
+func (g *progGen) buildList(head uint8, size, link uint32, n int) {
+	g.emit(OpAlloc, head, 0, 0, size)
+	g.emit(OpImm, rVal, 0, 0, g.r.next())
+	g.emit(OpStore, rVal, head, 0, genPayloadOf)
+	g.emit(OpAddImm, rCursor, head, 0, 0)
+	g.emit(OpLoop, 0, 0, 0, uint32(n))
+	g.emit(OpAlloc, rNode, 0, 0, size)
+	g.emit(OpImm, rVal, 0, 0, g.r.next())
+	g.emit(OpStore, rVal, rNode, 0, genPayloadOf)
+	g.emit(OpStore, rNode, rCursor, 0, link)
+	if g.r.intn(2) == 0 && link != genLinkOffB {
+		// Occasionally plant a "rib" pointer back at the head.
+		g.emit(OpStore, head, rNode, 0, genLinkOffB)
+	}
+	g.emit(OpAddImm, rCursor, rNode, 0, 0)
+	g.emit(OpEnd, 0, 0, 0, 0)
+}
+
+// traverse chases the structure end to end and read-modify-writes the
+// landing node's payload, then takes a short partial chase with
+// conditional extra work.
+func (g *progGen) traverse(head uint8, link uint32) {
+	g.emit(OpChase, rWalk, head, 255, link)
+	g.emit(OpLoad, rVal, rWalk, 0, genPayloadOf)
+	g.emit(OpAddImm, rVal, rVal, 0, 1)
+	g.emit(OpStore, rVal, rWalk, 0, genPayloadOf)
+	g.emit(OpAdd, rAcc, rAcc, rVal, 0)
+
+	// Partial chase: a bounded prefix walk whose landing node depends
+	// on the cap, not the structure end.
+	g.emit(OpChase, rWalk, head, uint8(g.r.intn(6)), link)
+	g.emit(OpLoadLDS, rTmp, rWalk, 0, genPayloadOf)
+
+	// Conditional work guarded by a data-dependent zero test: the low
+	// bit of the payload decides, so both branch directions occur
+	// across the corpus.
+	g.emit(OpImm, rVal, 0, 0, 1)
+	g.emit(OpXor, rVal, rTmp, rVal, 0)
+	g.emit(OpIfZ, rVal, 0, 0, 0)
+	g.emit(OpXor, rAcc, rAcc, rTmp, 0)
+	g.emit(OpEnd, 0, 0, 0, 0)
+}
+
+// noise emits a short run of ALU work (including the non-pipelined
+// multiplier) between memory phases.
+func (g *progGen) noise() {
+	n := 1 + g.r.intn(4)
+	for i := 0; i < n; i++ {
+		switch g.r.intn(5) {
+		case 0:
+			g.emit(OpImm, rTmp, 0, 0, g.r.next())
+		case 1:
+			g.emit(OpAdd, rAcc, rAcc, rTmp, 0)
+		case 2:
+			g.emit(OpSub, rTmp, rAcc, rVal, 0)
+		case 3:
+			g.emit(OpMul, rVal, rVal, rTmp, 0)
+		case 4:
+			g.emit(OpXor, rAcc, rAcc, rVal, 0)
+		}
+	}
+}

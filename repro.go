@@ -32,6 +32,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/dbp"
 	"repro/internal/harness"
 	"repro/internal/olden"
+	"repro/internal/validate"
 )
 
 // Scheme selects a prefetching implementation (paper section 3).
@@ -196,6 +198,27 @@ func ExperimentIDs() []string {
 		out = append(out, e.ID)
 	}
 	return out
+}
+
+// ValidationFailure is one divergence found by Validate: a timing-core
+// run whose committed instruction stream, heap state or cycle count
+// broke an architectural invariant.
+type ValidationFailure = validate.Failure
+
+// ValidationOptions configures Validate.  The zero value runs every
+// registered benchmark plus 25 seeded random micro-IR programs at the
+// test input size, under every prefetch scheme, with cycle skipping
+// both on and off.
+type ValidationOptions = validate.MatrixOptions
+
+// Validate runs the differential validation matrix: every workload
+// executes on the out-of-order core and its commit stream is checked
+// byte-for-byte against an in-order functional oracle (and, for
+// generated programs, an independent reference interpreter).  Progress
+// lines go to w (nil discards); the returned slice is empty when the
+// simulator is self-consistent.
+func Validate(w io.Writer, o ValidationOptions) []ValidationFailure {
+	return validate.RunMatrix(w, o)
 }
 
 // Reproduce regenerates one paper artifact ("table1", "table2", "fig4",
