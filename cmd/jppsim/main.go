@@ -4,7 +4,12 @@
 // Usage:
 //
 //	jppsim -bench health -scheme coop [-idiom chain] [-size full]
-//	       [-interval 8] [-memlat 70] [-split] [-stats-json]
+//	       [-engine stride] [-interval 8] [-memlat 70] [-split] [-stats-json]
+//
+// -engine attaches a specific prefetch engine from the registry
+// (internal/prefetch) instead of the scheme's default, so any workload
+// can run under any prefetcher — the basis of the jppreport "shootout"
+// experiment.  -engine list prints the registered names.
 //
 // -validate ignores -bench/-scheme and instead runs the differential
 // validation matrix: every benchmark (or the -vbench list) and
@@ -49,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		bench     = fs.String("bench", "health", "benchmark name (see -list)")
 		scheme    = fs.String("scheme", "none", "none|dbp|sw|coop|hw")
 		idiom     = fs.String("idiom", "", "queue|full|chain|root (default: representative)")
+		engine    = fs.String("engine", "", "prefetch engine override, or \"list\" (default: scheme's engine)")
 		size      = fs.String("size", "full", "test|small|full|large")
 		interval  = fs.Int("interval", 0, "jump-pointer interval (0 = 8)")
 		memlat    = fs.Int("memlat", 0, "main memory latency override")
@@ -136,8 +142,16 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *engine == "list" {
+		for _, n := range repro.Engines() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
 	cfg := repro.Config{
 		Bench:      *bench,
+		Engine:     *engine,
 		Interval:   *interval,
 		MemLatency: *memlat,
 	}
@@ -196,6 +210,9 @@ func printStatsJSON(out io.Writer, r repro.Result) error {
 
 func printResult(out io.Writer, r repro.Result) {
 	fmt.Fprintf(out, "bench=%s scheme=%v size=%v\n", r.Spec.Bench, r.Spec.Params.Scheme, r.Spec.Params.Size)
+	if r.EngineName != "" {
+		fmt.Fprintf(out, "engine            %s\n", r.EngineName)
+	}
 	fmt.Fprintf(out, "cycles            %d\n", r.CPU.Cycles)
 	fmt.Fprintf(out, "instructions      %d (orig %d + prefetch overhead %d)\n",
 		r.CPU.Insts, r.Insts.OrigInsts, r.Insts.OvhdInsts)

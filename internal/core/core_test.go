@@ -151,6 +151,89 @@ func TestSWJumpQueueExtras(t *testing.T) {
 	}
 }
 
+// TestSWJumpQueueExtrasDistinctPCs is the regression test for the
+// extra-field site aliasing bug: Visit used to emit every extra
+// FieldStore at the same static site (s+6), merging distinct store
+// sites into one PC and corrupting per-PC predictor training and site
+// accounting.  With >= 2 extras, each store offset must have its own
+// static PC, and the values must still land correctly.
+func TestSWJumpQueueExtrasDistinctPCs(t *testing.T) {
+	alloc := heap.New(mem.NewImage())
+	var nodes []ir.Val
+	const siteBase = 200
+	g := ir.NewGen(alloc, func(a *ir.Asm) {
+		for i := 0; i < 6; i++ {
+			nodes = append(nodes, a.Malloc(24))
+		}
+		q := NewSWJumpQueue(a, siteBase, 0, 2, 12)
+		for i, n := range nodes {
+			q.Visit(n,
+				FieldStore{Off: 16, Val: ir.Imm(uint32(0xAA00 + i))},
+				FieldStore{Off: 20, Val: ir.Imm(uint32(0xBB00 + i))})
+		}
+	})
+	isNode := func(base uint32) bool {
+		for _, n := range nodes {
+			if n.U32() == base {
+				return true
+			}
+		}
+		return false
+	}
+	// Collect the static PC of each home-relative store offset.
+	pcs := map[uint32]map[uint32]bool{} // offset -> set of PCs
+	for d := g.Next(); d != nil; d = g.Next() {
+		if d.Class != ir.Store || !isNode(d.BaseValue) {
+			continue
+		}
+		off := d.Addr - d.BaseValue
+		if pcs[off] == nil {
+			pcs[off] = map[uint32]bool{}
+		}
+		pcs[off][d.PC] = true
+	}
+	want := map[uint32]uint32{
+		12: ir.SitePC(siteBase + 5), // jump pointer
+		16: ir.SitePC(siteBase + 7), // extra 0
+		20: ir.SitePC(siteBase + 8), // extra 1
+	}
+	for off, pc := range want {
+		got := pcs[off]
+		if len(got) != 1 || !got[pc] {
+			t.Errorf("stores at offset %d use PCs %v, want exactly %#x", off, got, pc)
+		}
+	}
+	// Distinct offsets must never share a PC (the pre-fix failure mode:
+	// offsets 16 and 20 both at site s+6).
+	seen := map[uint32]uint32{}
+	for off, set := range pcs {
+		for pc := range set {
+			if prev, dup := seen[pc]; dup {
+				t.Errorf("offsets %d and %d share static PC %#x", prev, off, pc)
+			}
+			seen[pc] = off
+		}
+	}
+	// Values still land: home 0's extras carry node 2's rib values.
+	img := alloc.Image()
+	if got := img.ReadWord(nodes[0].U32() + 16); got != 0xAA02 {
+		t.Errorf("extra 0 value = %#x, want 0xAA02", got)
+	}
+	if got := img.ReadWord(nodes[0].U32() + 20); got != 0xBB02 {
+		t.Errorf("extra 1 value = %#x, want 0xBB02", got)
+	}
+}
+
+func TestSWJumpQueueSitesFor(t *testing.T) {
+	for _, c := range []struct{ extras, want int }{
+		{0, SWJumpQueueSites}, {1, SWJumpQueueSites}, {2, 9}, {6, 13},
+	} {
+		if got := SWJumpQueueSitesFor(c.extras); got != c.want {
+			t.Errorf("SWJumpQueueSitesFor(%d) = %d, want %d", c.extras, got, c.want)
+		}
+	}
+}
+
 // buildHWRig wires a hardware engine over a synthetic list.
 func buildHWRig(t *testing.T, n int) (*HWEngine, *heap.Allocator, []uint32) {
 	t.Helper()

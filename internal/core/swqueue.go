@@ -31,8 +31,22 @@ type SWJumpQueue struct {
 }
 
 // SWJumpQueueSites is the number of static instruction sites a
-// SWJumpQueue consumes starting at its site base.
+// SWJumpQueue consumes starting at its site base when Visit is called
+// with at most one extra FieldStore (the common case: site layout is
+// s+0..s+5 for the queue operations, s+6 for Reset's clearing store,
+// and s+7 for the single extra).
 const SWJumpQueueSites = 8
+
+// SWJumpQueueSitesFor is the number of static sites a queue consumes
+// when Visit passes up to maxExtras extra FieldStores.  Each extra
+// occupies its own site (distinct static PC) so per-PC predictor
+// training and site accounting see each installed field separately.
+func SWJumpQueueSitesFor(maxExtras int) int {
+	if maxExtras <= 1 {
+		return SWJumpQueueSites
+	}
+	return 7 + maxExtras
+}
 
 // NewSWJumpQueue builds a creation queue.
 //
@@ -70,11 +84,14 @@ func (q *SWJumpQueue) Visit(cur ir.Val, extras ...FieldStore) {
 		wrap := q.pos+1 == q.interval
 		q.a.Branch(s+3, wrap, s, idx, ir.Imm(uint32(q.interval)))
 		// if (home) home->jump = cur
-		q.a.Branch(s+4, home.IsNil(), s+7, home, ir.Val{})
+		q.a.Branch(s+4, home.IsNil(), s+6, home, ir.Val{})
 		if !home.IsNil() {
 			q.a.Store(s+5, home, q.jumpOff, cur)
-			for _, x := range extras {
-				q.a.Store(s+6, home, x.Off, x.Val)
+			// Each extra field gets its own static site: aliasing
+			// them to one PC would merge distinct store sites in
+			// per-PC predictor training and site accounting.
+			for i, x := range extras {
+				q.a.Store(s+7+i, home, x.Off, x.Val)
 			}
 		}
 	})
@@ -91,7 +108,7 @@ func (q *SWJumpQueue) Reset() {
 	q.a.Overhead(func() {
 		s := q.siteBase
 		for i := 0; i < q.interval; i++ {
-			q.a.Store(s+7, ir.Imm(q.qaddr+uint32(i)*4), 0, ir.Val{})
+			q.a.Store(s+6, ir.Imm(q.qaddr+uint32(i)*4), 0, ir.Val{})
 		}
 	})
 	q.pos = 0

@@ -147,6 +147,15 @@ func (e *Engine) Image() *mem.Image { return e.img }
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats { return e.s }
 
+// CacheRequests reports the engine's KPref accesses at the hierarchy
+// choke point, split into requests that initiated fills and requests
+// discarded because the line was already present or in flight.  Their
+// sum equals the engine's share of the stats.Tracker Issued count (the
+// prefetch registry's Requester contract).
+func (e *Engine) CacheRequests() (issued, dropped uint64) {
+	return e.s.IssuedPrefetch, e.s.DroppedPresent
+}
+
 // TrainLoad runs PPW training for a committed load and returns the
 // producer PC, if one was found.
 func (e *Engine) TrainLoad(d *ir.DynInst) (producer uint32, ok bool) {

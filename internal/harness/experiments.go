@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dbp"
 	"repro/internal/olden"
+	"repro/internal/prefetch"
 )
 
 // ExpConfig parameterizes experiment reproduction.
@@ -70,6 +71,7 @@ func Experiments() []struct {
 		{"fig6", Fig6, "bandwidth requirements (L1<->L2 bytes per instruction)"},
 		{"fig7", Fig7, "tolerating longer memory latencies (health)"},
 		{"costs", Costs, "direct and implicit costs of JPP"},
+		{"shootout", Shootout, "cross-prefetcher shootout (every registered engine)"},
 	}
 }
 
@@ -534,6 +536,68 @@ func Costs(cfg ExpConfig) (Report, error) {
 		[]string{"bench", "sw-inst-ovh", "coop-inst-ovh", "a-priori-creation", "distinct-blocks"},
 		rows)
 	return Report{ID: "costs", Title: "JPP costs", Text: text}, nil
+}
+
+// --- Prefetcher shootout ----------------------------------------------
+
+// Shootout compares every registered prefetch engine head to head on
+// unmodified (scheme-none) kernels: speedup over no prefetching plus
+// the coverage/accuracy/timeliness triple and issue volume from the
+// stats layer.  It makes the paper's related-work comparison — jump
+// pointers against dependence-based, stride and correlation
+// prefetching — reproducible from the same harness (the registry built
+// for it also backs `jppsim -engine`).
+func Shootout(cfg ExpConfig) (Report, error) {
+	benches := cfg.benches()
+	engines := prefetch.Names()
+	// Per benchmark: the engineless baseline first, then every engine,
+	// flattened in render order.
+	perBench := 1 + len(engines)
+	specs := make([]Spec, 0, len(benches)*perBench)
+	for _, b := range benches {
+		specs = append(specs, Spec{
+			Bench:  b.Name,
+			Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+		})
+		for _, eng := range engines {
+			specs = append(specs, Spec{
+				Bench:  b.Name,
+				Engine: eng,
+				Params: olden.Params{Scheme: core.SchemeNone, Size: cfg.Size},
+			})
+		}
+	}
+	runs := RunBatch(specs, cfg.Workers)
+	if err := firstErr(runs); err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	for bi, b := range benches {
+		row := runs[bi*perBench : (bi+1)*perBench]
+		base := row[0].Result.CPU.Cycles
+		for ei, eng := range engines {
+			r := row[1+ei].Result
+			speedup := 0.0
+			if r.CPU.Cycles > 0 {
+				speedup = float64(base)/float64(r.CPU.Cycles) - 1
+			}
+			p := r.Stats.Prefetch
+			rows = append(rows, []string{
+				b.Name,
+				eng,
+				fmt.Sprintf("%d", r.CPU.Cycles),
+				fmt.Sprintf("%+.0f%%", 100*speedup),
+				fmt.Sprintf("%d", p.Issued),
+				fmt.Sprintf("%.2f", p.Derived.Coverage),
+				fmt.Sprintf("%.2f", p.Derived.Accuracy),
+				fmt.Sprintf("%.2f", p.Derived.Timeliness),
+			})
+		}
+	}
+	text := renderTable("Prefetcher shootout: registry engines on unmodified kernels",
+		[]string{"bench", "engine", "cycles", "speedup", "issued", "cov", "acc", "timely"},
+		rows)
+	return Report{ID: "shootout", Title: "Prefetcher shootout", Text: text}, nil
 }
 
 func containsStr(xs []string, s string) bool {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/olden"
+	"repro/internal/prefetch"
 	"repro/internal/stats"
 )
 
@@ -24,6 +25,12 @@ import (
 type Spec struct {
 	Bench  string
 	Params olden.Params
+
+	// Engine names a registered prefetch engine (internal/prefetch) to
+	// attach to the core; "" selects the scheme's historical default
+	// (prefetch.DefaultFor), which preserves the paper-artifact
+	// configurations.  Engines never attach to perfect-memory runs.
+	Engine string
 
 	// Kernel, when non-nil, supplies the workload directly instead of
 	// looking Bench up in the Olden registry; Bench then only labels the
@@ -55,7 +62,15 @@ type Result struct {
 	Insts ir.Stats
 	Bpred bpred.Stats
 
-	// Engine stats are present when the scheme uses hardware.
+	// EngineName is the resolved registry engine attached to the run
+	// ("" when none was attached); PrefEngine is the live engine
+	// instance, exposed for conformance tests and diagnostics.
+	EngineName string
+	PrefEngine cpu.PrefetchEngine
+
+	// Engine stats are present when the attached engine exposes
+	// dependence-engine counters (dbp, hw, hybrid); HW when it exposes
+	// jump-pointer counters (hw, hybrid).
 	Engine *dbp.Stats
 	HW     *core.HWStats
 
@@ -100,12 +115,17 @@ func Run(spec Spec) (Result, error) {
 	if spec.HW != nil {
 		hwC = *spec.HW
 	}
-	if spec.Params.Interval > 0 {
-		hwC.Interval = spec.Params.Interval
-	}
 
-	scheme := spec.Params.Scheme
-	memP.EnablePB = scheme.UsesHardware() && !memP.PerfectData
+	// Resolve the prefetch engine through the registry: an explicit
+	// Spec.Engine wins, otherwise the scheme's historical default.
+	// Spec.Params.Interval is routed uniformly through the factory
+	// config, so every engine's lookahead honors a swept interval.
+	engineName := spec.Engine
+	if engineName == "" {
+		engineName = prefetch.DefaultFor(spec.Params.Scheme)
+	}
+	attach := engineName != "" && !memP.PerfectData
+	memP.EnablePB = attach
 
 	img := mem.NewImage()
 	alloc := heap.New(img)
@@ -113,16 +133,15 @@ func Run(spec Spec) (Result, error) {
 	pred := bpred.New(bpred.Defaults())
 
 	var eng cpu.PrefetchEngine
-	var dbpEng *dbp.Engine
-	var hwEng *core.HWEngine
-	if scheme.UsesHardware() && !memP.PerfectData {
-		switch scheme {
-		case core.SchemeHardware:
-			hwEng = core.NewHWEngine(dbpC, hwC, hier, alloc)
-			eng = hwEng
-		default: // DBP, cooperative
-			dbpEng = dbp.NewEngine(dbpC, hier, alloc)
-			eng = dbpEng
+	if attach {
+		var err error
+		eng, err = prefetch.New(engineName, prefetch.Config{
+			DBP:      dbpC,
+			HW:       hwC,
+			Interval: spec.Params.Interval,
+		}, hier, alloc)
+		if err != nil {
+			return Result{}, err
 		}
 	}
 
@@ -131,22 +150,24 @@ func Run(spec Spec) (Result, error) {
 	cpuStats := c.Run(gen)
 
 	res := Result{
-		Spec:  spec,
-		CPU:   cpuStats,
-		Cache: hier.Stats(),
-		Insts: gen.Stats(),
-		Bpred: pred.Stats(),
-		Hier:  hier,
-		Heap:  alloc,
+		Spec:       spec,
+		CPU:        cpuStats,
+		Cache:      hier.Stats(),
+		Insts:      gen.Stats(),
+		Bpred:      pred.Stats(),
+		PrefEngine: eng,
+		Hier:       hier,
+		Heap:       alloc,
 	}
-	if dbpEng != nil {
-		s := dbpEng.Stats()
+	if attach {
+		res.EngineName = engineName
+	}
+	if ds, ok := eng.(interface{ Stats() dbp.Stats }); ok {
+		s := ds.Stats()
 		res.Engine = &s
 	}
-	if hwEng != nil {
-		s := hwEng.Stats()
-		res.Engine = &s
-		h := hwEng.HWStats()
+	if hs, ok := eng.(interface{ HWStats() core.HWStats }); ok {
+		h := hs.HWStats()
 		res.HW = &h
 	}
 	res.Stats = buildSnapshot(&res)
@@ -163,14 +184,23 @@ func buildSnapshot(r *Result) stats.Snapshot {
 		SWIssued:      r.CPU.CommitByCl[ir.Prefetch],
 		Derived:       p.Metrics(),
 	}
-	if r.Engine != nil {
-		rep.EngineIssued = r.Engine.IssuedPrefetch + r.Engine.DroppedPresent
+	if rq, ok := r.PrefEngine.(prefetch.Requester); ok {
+		// Issued fills + already-present discards: both reached the
+		// hierarchy choke point, so both were counted by the Tracker
+		// (the dropped ones retire immediately as useless).  This is
+		// the engine's exact share of the Tracker's Issued count; the
+		// per-source identity SWIssued + EngineIssued == Issued is
+		// enforced by Snapshot.Validate for complete realistic runs.
+		issued, dropped := rq.CacheRequests()
+		rep.EngineIssued = issued + dropped
 	}
 	return stats.Snapshot{
 		Version:          stats.SchemaVersion,
 		Bench:            r.Spec.Bench,
 		Scheme:           r.Spec.Params.Scheme.String(),
 		Idiom:            r.Spec.Params.Idiom.String(),
+		Engine:           r.EngineName,
+		PerfectMem:       r.Spec.Mem != nil && r.Spec.Mem.PerfectData,
 		Size:             r.Spec.Params.Size.String(),
 		Cycles:           r.CPU.Cycles,
 		Insts:            r.CPU.Insts,
@@ -224,7 +254,23 @@ func perfectSpec(spec Spec) Spec {
 
 // Decompose runs spec twice (realistic + perfect data memory).  The two
 // passes are independent simulations and run concurrently.
+//
+// A spec that already requests perfect data memory has no memory stall
+// to measure: the single run is its own compute pass, so Decompose runs
+// it once and reports Total == Compute rather than simulating the same
+// perfect machine twice.
 func Decompose(spec Spec) (Decomposition, error) {
+	if spec.Mem != nil && spec.Mem.PerfectData {
+		full, err := Run(spec)
+		if err != nil {
+			return Decomposition{}, err
+		}
+		return Decomposition{
+			Total:   full.CPU.Cycles,
+			Compute: full.CPU.Cycles,
+			Full:    full,
+		}, nil
+	}
 	var (
 		full, perfect       Result
 		fullErr, perfectErr error

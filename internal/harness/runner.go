@@ -146,26 +146,43 @@ func RunBatch(specs []Spec, workers int) []RunItem {
 // simulations, so the batch flattens them into a single 2n-run pool:
 // the pair for spec i occupies slots 2i (realistic) and 2i+1 (perfect),
 // giving the worker pool twice the parallelism of the spec list without
-// oversubscribing the host.
+// oversubscribing the host.  A spec that already requests perfect data
+// memory contributes a single run (its own compute pass), matching
+// Decompose.
 func DecomposeBatch(specs []Spec, workers int) []DecompItem {
 	out := make([]DecompItem, len(specs))
 	if len(specs) == 0 {
 		return out
 	}
+	// perfectAt[i] is the flat-pool index of spec i's perfect pass, or
+	// -1 when the realistic run doubles as it.
 	flat := make([]Spec, 0, 2*len(specs))
-	for _, s := range specs {
-		flat = append(flat, s, perfectSpec(s))
+	fullAt := make([]int, len(specs))
+	perfectAt := make([]int, len(specs))
+	for i, s := range specs {
+		fullAt[i] = len(flat)
+		flat = append(flat, s)
+		if s.Mem != nil && s.Mem.PerfectData {
+			perfectAt[i] = -1
+			continue
+		}
+		perfectAt[i] = len(flat)
+		flat = append(flat, perfectSpec(s))
 	}
 	runs := RunBatch(flat, workers)
 	for i := range specs {
-		full, perfect := runs[2*i], runs[2*i+1]
+		full := runs[fullAt[i]]
 		if full.Err != nil {
 			out[i].Err = full.Err
 			continue
 		}
-		if perfect.Err != nil {
-			out[i].Err = perfect.Err
-			continue
+		perfect := full
+		if perfectAt[i] >= 0 {
+			perfect = runs[perfectAt[i]]
+			if perfect.Err != nil {
+				out[i].Err = perfect.Err
+				continue
+			}
 		}
 		out[i].Decomp = Decomposition{
 			Total:   full.Result.CPU.Cycles,

@@ -38,6 +38,9 @@ const (
 	esWalk
 	esGather
 	esIdiom
+	// esQueue spans core.SWJumpQueueSitesFor(emK) sites (full jumping
+	// passes emK extra rib stores); it is the last block, so exceeding
+	// the 12-site stride is safe.
 	esQueue
 )
 

@@ -1,0 +1,169 @@
+package prefetch_test
+
+import (
+	"encoding/json"
+	"flag"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/olden"
+	"repro/internal/prefetch"
+	"repro/internal/validate"
+)
+
+// -conformance-size selects the workload driven through every
+// registered engine, mirroring the validate package's -matrix-size: CI
+// runs "small" for real coverage while plain `go test` stays fast.
+var confSize = flag.String("conformance-size", "test", "conformance workload size (test|small)")
+
+func confWorkloadSize(t *testing.T) olden.Size {
+	t.Helper()
+	switch *confSize {
+	case "test":
+		return olden.SizeTest
+	case "small":
+		return olden.SizeSmall
+	}
+	t.Fatalf("unknown -conformance-size %q", *confSize)
+	return olden.SizeTest
+}
+
+// contractChecker wraps an engine and audits every NextEventAt answer
+// against the cycle-skip contract: the hint must name a cycle strictly
+// after now, or ^uint64(0) for idle.  A violation would let the
+// event-driven core skip over (or spin on) engine work.
+type contractChecker struct {
+	cpu.PrefetchEngine
+	calls      int
+	violations int
+}
+
+func (c *contractChecker) NextEventAt(now uint64) uint64 {
+	n := c.PrefetchEngine.NextEventAt(now)
+	c.calls++
+	if n != ^uint64(0) && n <= now {
+		c.violations++
+	}
+	return n
+}
+
+// TestEngineConformance runs the full registry through the behavioral
+// contract every engine must satisfy: a legal NextEventAt hint stream,
+// bit-identical statistics with cycle skipping on and off, determinism
+// across batch worker counts, and a pass through the differential
+// validation matrix.
+func TestEngineConformance(t *testing.T) {
+	size := confWorkloadSize(t)
+	for _, name := range prefetch.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			t.Run("next-event-contract", func(t *testing.T) {
+				bench, ok := olden.ByName("health")
+				if !ok {
+					t.Fatal("health benchmark missing")
+				}
+				params := olden.Params{Scheme: core.SchemeNone, Size: size}
+				memP := cache.Defaults()
+				memP.EnablePB = true
+				img := mem.NewImage()
+				alloc := heap.New(img)
+				hier := cache.New(memP)
+				eng, err := prefetch.New(name, prefetch.Config{}, hier, alloc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc := &contractChecker{PrefetchEngine: eng}
+				gen := ir.NewGen(alloc, bench.Kernel(params))
+				c := cpu.New(cpu.Defaults(), hier, bpred.New(bpred.Defaults()), cc)
+				c.Run(gen)
+				if cc.calls == 0 {
+					t.Fatal("NextEventAt never consulted — contract unexercised")
+				}
+				if cc.violations > 0 {
+					t.Errorf("%d/%d NextEventAt answers were not strictly after now",
+						cc.violations, cc.calls)
+				}
+			})
+			t.Run("skip-equivalence", func(t *testing.T) {
+				snap := func(disableSkip bool) []byte {
+					cfg := cpu.Defaults()
+					cfg.DisableCycleSkip = disableSkip
+					res, err := harness.Run(harness.Spec{
+						Bench:  "health",
+						Engine: name,
+						CPU:    &cfg,
+						Params: olden.Params{Scheme: core.SchemeNone, Size: size},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := res.Stats.Validate(); err != nil {
+						t.Fatalf("snapshot invalid (skip disabled=%v): %v", disableSkip, err)
+					}
+					b, err := json.Marshal(res.Stats)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b
+				}
+				if on, off := snap(false), snap(true); string(on) != string(off) {
+					t.Errorf("cycle skipping changes %s statistics:\nskip on:  %s\nskip off: %s",
+						name, on, off)
+				}
+			})
+			t.Run("determinism", func(t *testing.T) {
+				specs := []harness.Spec{
+					{
+						Bench:  "health",
+						Engine: name,
+						Params: olden.Params{Scheme: core.SchemeNone, Size: size},
+					},
+					{
+						Bench:  "treeadd",
+						Engine: name,
+						Params: olden.Params{Scheme: core.SchemeNone, Size: size},
+					},
+				}
+				marshal := func(workers int) []string {
+					items := harness.RunBatch(specs, workers)
+					out := make([]string, len(items))
+					for i, it := range items {
+						if it.Err != nil {
+							t.Fatalf("workers=%d slot %d: %v", workers, i, it.Err)
+						}
+						b, err := json.Marshal(it.Result.Stats)
+						if err != nil {
+							t.Fatal(err)
+						}
+						out[i] = string(b)
+					}
+					return out
+				}
+				serial, parallel := marshal(1), marshal(4)
+				for i := range serial {
+					if serial[i] != parallel[i] {
+						t.Errorf("slot %d differs across worker counts:\n1: %s\n4: %s",
+							i, serial[i], parallel[i])
+					}
+				}
+			})
+			t.Run("differential", func(t *testing.T) {
+				fails := validate.CheckKernel("health", size, validate.Config{
+					Schemes: []core.Scheme{core.SchemeNone},
+					Engines: []string{name},
+				})
+				for _, f := range fails {
+					t.Errorf("%s", f)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package prefetch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dbp"
+	"repro/internal/heap"
+	"repro/internal/ir"
+)
+
+// Hybrid couples the hardware jump-pointer engine with the stride
+// prefetcher: jump-pointer and chained prefetches cover the pointer
+// chases, the stride half covers the regular-address streams the JPP
+// machinery ignores.  This is the pointer-chase-plus-stride pairing of
+// modern pointer prefetcher proposals (PAPERS.md's Pointer-Chase
+// Prefetcher, https://arxiv.org/pdf/1801.08088).  The JPP half has
+// port priority — pointer misses are the ones that serialize — and the
+// stride half issues into whatever prefetch bandwidth remains.
+type Hybrid struct {
+	jpp *core.HWEngine
+	st  *Stride
+}
+
+// NewHybrid builds a hybrid engine from a normalized Config.
+func NewHybrid(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) *Hybrid {
+	return &Hybrid{
+		jpp: core.NewHWEngine(cfg.DBP, cfg.HW, hier, alloc),
+		st:  NewStride(cfg, hier, alloc),
+	}
+}
+
+// OnLoadIssue feeds both halves.
+func (h *Hybrid) OnLoadIssue(now uint64, d *ir.DynInst) {
+	h.jpp.OnLoadIssue(now, d)
+	h.st.OnLoadIssue(now, d)
+}
+
+// OnLoadComplete feeds both halves.
+func (h *Hybrid) OnLoadComplete(now uint64, d *ir.DynInst) {
+	h.jpp.OnLoadComplete(now, d)
+	h.st.OnLoadComplete(now, d)
+}
+
+// OnCommit feeds both halves.
+func (h *Hybrid) OnCommit(now uint64, d *ir.DynInst) {
+	h.jpp.OnCommit(now, d)
+	h.st.OnCommit(now, d)
+}
+
+// OnSWPrefetch feeds both halves.
+func (h *Hybrid) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {
+	h.jpp.OnSWPrefetch(now, d, done)
+	h.st.OnSWPrefetch(now, d, done)
+}
+
+// Tick gives the JPP half port priority and the stride half the rest.
+func (h *Hybrid) Tick(now uint64, freePorts int) int {
+	used := h.jpp.Tick(now, freePorts)
+	if rem := freePorts - used; rem > 0 {
+		used += h.st.Tick(now, rem)
+	}
+	return used
+}
+
+// NextEventAt is the earlier of the two halves' events.
+func (h *Hybrid) NextEventAt(now uint64) uint64 {
+	a := h.jpp.NextEventAt(now)
+	if b := h.st.NextEventAt(now); b < a {
+		return b
+	}
+	return a
+}
+
+// CacheRequests implements Requester by summing both halves.
+func (h *Hybrid) CacheRequests() (issued, dropped uint64) {
+	ji, jd := h.jpp.CacheRequests()
+	si, sd := h.st.CacheRequests()
+	return ji + si, jd + sd
+}
+
+// Stats exposes the JPP half's dependence-engine counters so harness
+// reporting keeps working when a hybrid engine is attached.
+func (h *Hybrid) Stats() dbp.Stats { return h.jpp.Stats() }
+
+// HWStats exposes the JPP half's jump-pointer counters.
+func (h *Hybrid) HWStats() core.HWStats { return h.jpp.HWStats() }

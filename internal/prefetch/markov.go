@@ -1,0 +1,118 @@
+package prefetch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/heap"
+	"repro/internal/ir"
+)
+
+// Markov table geometry: a direct-mapped table of cache-line
+// transitions with two most-recently-seen successors per line (the
+// Joseph & Grunwald arrangement the paper's related work positions
+// jump pointers against, and the correlation half of PAPERS.md's
+// Pointer-Chase Prefetcher).
+const (
+	markovEntries    = 512
+	markovSuccessors = 2
+)
+
+type markovEntry struct {
+	tag  uint32
+	succ [markovSuccessors]uint32
+}
+
+// Markov is an address-correlation prefetcher over the linked-data
+// access stream.  It records line-to-line transitions of heap loads
+// carrying the linked-data-structure flag, and on each observed line it
+// walks the most-recent-successor chain up to the configured interval,
+// prefetching each predicted line.  Unlike jump-pointer prefetching it
+// needs no compiler or allocator help — but it can only replay
+// transitions it has already paid a miss to observe.
+type Markov struct {
+	heap  *heap.Allocator
+	depth int
+	tab   [markovEntries]markovEntry
+	last  uint32 // previous LDS line (0 = none yet)
+	rq    reqQueue
+}
+
+// NewMarkov builds a Markov engine from a normalized Config.
+func NewMarkov(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) *Markov {
+	return &Markov{
+		heap:  alloc,
+		depth: cfg.interval(),
+		rq:    reqQueue{hier: hier, max: cfg.DBP.PRQEntries},
+	}
+}
+
+func (m *Markov) index(line uint32) uint32 {
+	return (line / uint32(m.rq.hier.LineBytes())) % markovEntries
+}
+
+// OnLoadIssue observes the linked-data load stream: it trains the
+// transition table on consecutive distinct lines and issues prefetches
+// along the predicted successor chain.
+func (m *Markov) OnLoadIssue(now uint64, d *ir.DynInst) {
+	if d.Flags&ir.FLDS == 0 || !m.heap.Contains(d.Addr) {
+		return
+	}
+	line := d.Addr & ^uint32(uint32(m.rq.hier.LineBytes())-1)
+	if line == m.last {
+		return
+	}
+	if m.last != 0 {
+		e := &m.tab[m.index(m.last)]
+		if e.tag != m.last {
+			*e = markovEntry{tag: m.last}
+		}
+		if e.succ[0] != line {
+			// MRU insertion: newest observation first.
+			e.succ[1] = e.succ[0]
+			e.succ[0] = line
+		}
+	}
+	// Predict forward: follow the most-recent successor chain.  No
+	// L1-presence gate here — correlation prefetchers issue on the
+	// observed stream and let the hierarchy discard already-present
+	// lines (counted as dropped requests); gating on PresentL1 would
+	// silence the engine whenever the structure is momentarily resident.
+	cur := line
+	for i := 0; i < m.depth; i++ {
+		e := &m.tab[m.index(cur)]
+		if e.tag != cur || e.succ[0] == 0 {
+			break
+		}
+		next := e.succ[0]
+		m.rq.push(next)
+		cur = next
+	}
+	m.last = line
+}
+
+// OnLoadComplete is unused: correlation trains on addresses at issue.
+func (m *Markov) OnLoadComplete(now uint64, d *ir.DynInst) {}
+
+// OnCommit is unused.
+func (m *Markov) OnCommit(now uint64, d *ir.DynInst) {}
+
+// OnSWPrefetch is unused.
+func (m *Markov) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {}
+
+// Tick drains the request queue through the free prefetch ports.
+func (m *Markov) Tick(now uint64, freePorts int) int {
+	return m.rq.drain(now, freePorts)
+}
+
+// NextEventAt reports pending queue work (see reqQueue).
+func (m *Markov) NextEventAt(now uint64) uint64 {
+	return m.rq.nextEventAt(now)
+}
+
+// CacheRequests implements Requester.
+func (m *Markov) CacheRequests() (issued, dropped uint64) {
+	return m.rq.cacheRequests()
+}
+
+// QueueStats exposes the request-traffic counters for tests and
+// diagnostics.
+func (m *Markov) QueueStats() QueueStats { return m.rq.s }

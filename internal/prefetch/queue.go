@@ -1,0 +1,82 @@
+package prefetch
+
+import "repro/internal/cache"
+
+// QueueStats counts a zoo engine's request traffic at the same
+// granularity the DBP engine uses: Requested candidates accepted into
+// the queue, queue-full Drops, in-queue Dedups, and — at the cache
+// choke point — Issued fills vs Present discards.
+type QueueStats struct {
+	Requested uint64
+	Drops     uint64
+	Dedup     uint64
+	Issued    uint64
+	Present   uint64
+}
+
+// reqQueue is the issue stage shared by the zoo engines: a bounded
+// FIFO of prefetch addresses drained through the hierarchy's prefetch
+// ports, one access per free port per cycle.  It is the only timed
+// state these engines hold, which makes their cycle-skip contract
+// trivial: work exists exactly when the queue is non-empty, and a
+// non-empty queue reports NextEventAt(now) = now+1, which disables
+// skipping until it drains.
+type reqQueue struct {
+	hier *cache.Hierarchy
+	max  int
+	q    []uint32
+	s    QueueStats
+}
+
+// push enqueues a prefetch candidate, deduplicating by cache line and
+// dropping when the queue is full (both modeled, both counted).
+func (r *reqQueue) push(addr uint32) {
+	mask := ^uint32(uint32(r.hier.LineBytes()) - 1)
+	line := addr & mask
+	for _, a := range r.q {
+		if a&mask == line {
+			r.s.Dedup++
+			return
+		}
+	}
+	if len(r.q) >= r.max {
+		r.s.Drops++
+		return
+	}
+	r.q = append(r.q, addr)
+	r.s.Requested++
+}
+
+// drain issues up to freePorts queued prefetches into the hierarchy.
+// It returns the number of ports consumed.
+func (r *reqQueue) drain(now uint64, freePorts int) int {
+	used := 0
+	for used < freePorts && len(r.q) > 0 {
+		addr := r.q[0]
+		copy(r.q, r.q[1:])
+		r.q = r.q[:len(r.q)-1]
+		res := r.hier.AccessData(now, addr, cache.KPref)
+		used++
+		if res.Dropped {
+			r.s.Present++
+		} else {
+			r.s.Issued++
+		}
+	}
+	return used
+}
+
+// nextEventAt implements the cpu.PrefetchEngine hint for queue-only
+// engines: pending work wants the very next cycle, otherwise idle.
+func (r *reqQueue) nextEventAt(now uint64) uint64 {
+	if len(r.q) > 0 {
+		return now + 1
+	}
+	return ^uint64(0)
+}
+
+// cacheRequests implements Requester over the queue's choke-point
+// counters.
+func (r *reqQueue) cacheRequests() (issued, dropped uint64) {
+	return r.s.Issued, r.s.Present
+}

@@ -1,0 +1,182 @@
+// Package prefetch is the pluggable prefetch-engine registry.
+//
+// Every hardware prefetching mechanism the simulator can attach to the
+// core — the paper's own dependence-based (DBP) and hardware
+// jump-pointer (JPP) engines, plus the competitor zoo (a PC-indexed
+// stride/RPT prefetcher, a Markov/correlation prefetcher, and a hybrid
+// JPP+stride engine) — registers a named factory here.  The harness
+// resolves harness.Spec.Engine through New, so any workload can run
+// under any engine; a scheme without an explicit engine keeps its
+// historical default (DefaultFor), which preserves the paper-artifact
+// results bit for bit.
+//
+// Engines implement cpu.PrefetchEngine, including the NextEventAt hint
+// the event-driven core uses to skip quiescent cycles: a registered
+// engine must report the earliest cycle strictly after `now` at which
+// it could act on its own, or ^uint64(0) when idle, and its Tick must
+// be a pure bookkeeping no-op across any span NextEventAt declared
+// quiet — the cycle-skip equivalence tests enforce this for every
+// registry entry.  Engines must also be deterministic: identical runs
+// must produce byte-identical statistics regardless of wall clock or
+// batch-worker count, so no map-iteration-order dependence.
+//
+// Competitor references: the stride/RPT design follows the classic
+// reference-prediction-table scheme (SNIPPETS.md snippet 2); the
+// pointer-aware hybrid arrangement follows the Pointer-Chase Prefetcher
+// line of work (PAPERS.md, https://arxiv.org/pdf/1801.08088).
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbp"
+	"repro/internal/heap"
+)
+
+// Config parameterizes engine construction.  The zero value resolves to
+// the Table 2 defaults.
+type Config struct {
+	// DBP sizes the dependence-based machinery (predictor, PRQ); the
+	// zoo engines reuse PRQEntries for their own request queues so every
+	// engine contends for the same queue depth.
+	DBP dbp.Config
+	// HW sizes the hardware JPP mechanism (JQT/JPR).
+	HW core.HWConfig
+	// Interval is the uniform lookahead distance in nodes/strides
+	// (0 = core.DefaultInterval).  Every factory honors it: the JQT
+	// interval and DBP chain depth for the jump-pointer engines, the
+	// stride lookahead for the RPT engine, the successor-chain depth
+	// for the Markov engine.
+	Interval int
+}
+
+// norm fills unset sub-configs with the Table 2 defaults and applies
+// the uniform Interval to the fields that express lookahead distance.
+func (c Config) norm() Config {
+	if c.DBP == (dbp.Config{}) {
+		c.DBP = dbp.Defaults()
+	}
+	if c.HW == (core.HWConfig{}) {
+		c.HW = core.DefaultHWConfig()
+	}
+	if c.Interval > 0 {
+		c.HW.Interval = c.Interval
+		// One jump interval is the natural chain-depth bound (see
+		// dbp.Config.MaxChainDepth).
+		c.DBP.MaxChainDepth = c.Interval
+	}
+	return c
+}
+
+// interval resolves the effective lookahead distance.
+func (c Config) interval() int {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return core.DefaultInterval
+}
+
+// Factory builds one engine instance over a run's memory hierarchy and
+// simulated allocator.  It receives a normalized Config (defaults
+// filled, interval applied).
+type Factory func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine
+
+// Requester is implemented by every registered engine: it reports the
+// engine's KPref cache accesses, split into requests that initiated
+// fills and requests the hierarchy discarded because the line was
+// already resident or in flight.  Their sum is the engine's
+// contribution to the stats.Tracker's Issued count — the per-source
+// identity SWIssued + EngineIssued == Issued that stats.Snapshot
+// Validate enforces for complete runs.
+type Requester interface {
+	CacheRequests() (issued, dropped uint64)
+}
+
+var registry = map[string]Factory{}
+
+// Register adds an engine factory under name.  It panics on a duplicate
+// or empty name — registration happens in init functions, where a
+// conflict is a programming error.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("prefetch: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic("prefetch: duplicate engine " + name)
+	}
+	registry[name] = f
+}
+
+// New builds the named engine.  Unknown names report the available set.
+func New(name string, cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) (cpu.PrefetchEngine, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown engine %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(cfg.norm(), hier, alloc), nil
+}
+
+// Names lists the registered engines in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultFor maps a prefetching scheme to the engine it historically
+// attached: DBP and cooperative runs use the dependence-based engine,
+// hardware JPP runs use the JQT/JPR engine, and the remaining schemes
+// attach nothing ("" — software JPP is all in the emitted code).
+func DefaultFor(s core.Scheme) string {
+	switch s {
+	case core.SchemeDBP, core.SchemeCooperative:
+		return "dbp"
+	case core.SchemeHardware:
+		return "hw"
+	}
+	return ""
+}
+
+// Competitors lists the registered engines no scheme default reaches —
+// the zoo the shootout experiment and the validation matrix sweep in
+// addition to the paper's own schemes.
+func Competitors() []string {
+	defaults := map[string]bool{}
+	for _, s := range core.Schemes() {
+		defaults[DefaultFor(s)] = true
+	}
+	var out []string
+	for _, n := range Names() {
+		if !defaults[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func init() {
+	Register("dbp", func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine {
+		return dbp.NewEngine(cfg.DBP, hier, alloc)
+	})
+	Register("hw", func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine {
+		return core.NewHWEngine(cfg.DBP, cfg.HW, hier, alloc)
+	})
+	Register("stride", func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine {
+		return NewStride(cfg, hier, alloc)
+	})
+	Register("markov", func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine {
+		return NewMarkov(cfg, hier, alloc)
+	})
+	Register("hybrid", func(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) cpu.PrefetchEngine {
+		return NewHybrid(cfg, hier, alloc)
+	})
+}

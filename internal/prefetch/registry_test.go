@@ -1,0 +1,110 @@
+package prefetch
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbp"
+	"repro/internal/heap"
+)
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(desc string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", desc)
+			}
+		}()
+		f()
+	}
+	nop := func(Config, *cache.Hierarchy, *heap.Allocator) cpu.PrefetchEngine { return nil }
+	mustPanic("duplicate name", func() { Register("dbp", nop) })
+	mustPanic("empty name", func() { Register("", nop) })
+	mustPanic("nil factory", func() { Register("nilfac", nil) })
+}
+
+func TestNewUnknown(t *testing.T) {
+	_, err := New("nonesuch", Config{}, nil, nil)
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	// The error should advertise the available set so a CLI typo is
+	// self-correcting.
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not list engine %q", err, n)
+		}
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	got := Names()
+	want := []string{"dbp", "hw", "hybrid", "markov", "stride"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultFor(t *testing.T) {
+	for _, c := range []struct {
+		scheme core.Scheme
+		want   string
+	}{
+		{core.SchemeNone, ""},
+		{core.SchemeSoftware, ""},
+		{core.SchemeDBP, "dbp"},
+		{core.SchemeCooperative, "dbp"},
+		{core.SchemeHardware, "hw"},
+	} {
+		if got := DefaultFor(c.scheme); got != c.want {
+			t.Errorf("DefaultFor(%v) = %q, want %q", c.scheme, got, c.want)
+		}
+	}
+}
+
+func TestCompetitors(t *testing.T) {
+	got := Competitors()
+	want := []string{"hybrid", "markov", "stride"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Competitors() = %v, want %v", got, want)
+	}
+}
+
+func TestConfigNorm(t *testing.T) {
+	// A zero config resolves to the Table 2 defaults.
+	n := Config{}.norm()
+	if n.DBP != dbp.Defaults() {
+		t.Errorf("zero config DBP = %+v, want defaults", n.DBP)
+	}
+	if n.HW != core.DefaultHWConfig() {
+		t.Errorf("zero config HW = %+v, want defaults", n.HW)
+	}
+	if got := (Config{}).interval(); got != core.DefaultInterval {
+		t.Errorf("zero config interval = %d, want %d", got, core.DefaultInterval)
+	}
+
+	// A uniform Interval reaches every lookahead knob.
+	n = Config{Interval: 7}.norm()
+	if n.HW.Interval != 7 {
+		t.Errorf("HW.Interval = %d, want 7", n.HW.Interval)
+	}
+	if n.DBP.MaxChainDepth != 7 {
+		t.Errorf("DBP.MaxChainDepth = %d, want 7", n.DBP.MaxChainDepth)
+	}
+	if got := (Config{Interval: 7}).interval(); got != 7 {
+		t.Errorf("interval() = %d, want 7", got)
+	}
+
+	// Explicit sub-configs survive normalization untouched apart from
+	// the interval override.
+	d := dbp.Defaults()
+	d.PRQEntries = 3
+	n = Config{DBP: d}.norm()
+	if n.DBP.PRQEntries != 3 {
+		t.Errorf("explicit DBP config lost: %+v", n.DBP)
+	}
+}

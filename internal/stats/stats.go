@@ -308,7 +308,16 @@ type Snapshot struct {
 	Bench   string `json:"bench"`
 	Scheme  string `json:"scheme"`
 	Idiom   string `json:"idiom"`
-	Size    string `json:"size"`
+	// Engine names the attached prefetch engine from the registry
+	// ("" when the run attached none — software-only and baseline
+	// schemes, and every perfect-memory run).
+	Engine string `json:"engine,omitempty"`
+	// PerfectMem marks a run under idealized single-cycle data memory
+	// (the compute pass of the decomposition method).  Such runs bypass
+	// the prefetch tracker, so the per-source issue identity does not
+	// apply to them.
+	PerfectMem bool   `json:"perfect_mem,omitempty"`
+	Size       string `json:"size"`
 
 	Cycles    uint64  `json:"cycles"`
 	Insts     uint64  `json:"instructions"`
@@ -332,6 +341,18 @@ func (s Snapshot) Validate() error {
 	}
 	if got := s.Prefetch.OutcomeTotal(); got != s.Prefetch.Issued {
 		return fmt.Errorf("stats: prefetch outcomes sum to %d, want Issued=%d", got, s.Prefetch.Issued)
+	}
+	// Per-source decomposition of the tracker's choke-point count: every
+	// tracked prefetch was either a committed software prefetch or an
+	// engine cache request.  Truncated runs commit fewer software
+	// prefetches than they issue to the cache, and perfect-memory runs
+	// bypass the tracker entirely, so the identity is gated to complete
+	// realistic runs.
+	if !s.Truncated && !s.PerfectMem {
+		if got := s.Prefetch.SWIssued + s.Prefetch.EngineIssued; got != s.Prefetch.Issued {
+			return fmt.Errorf("stats: per-source issues sum to %d (sw %d + engine %d), want Issued=%d",
+				got, s.Prefetch.SWIssued, s.Prefetch.EngineIssued, s.Prefetch.Issued)
+		}
 	}
 	if want := s.Prefetch.PrefetchStats.Metrics(); s.Prefetch.Derived != want {
 		return fmt.Errorf("stats: derived metrics %+v inconsistent with counters (want %+v)",

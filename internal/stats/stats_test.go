@@ -175,12 +175,38 @@ func TestSnapshotValidate(t *testing.T) {
 		{"outcome sum", func(s *Snapshot) { s.Prefetch.Useless++ }},
 		{"metrics", func(s *Snapshot) { s.Prefetch.Derived.Coverage += 0.25 }},
 		{"ipc", func(s *Snapshot) { s.IPC = 3 }},
+		// Per-source double count: an EngineIssued that overstates the
+		// engine's cache requests breaks SWIssued + EngineIssued ==
+		// Issued and must be rejected, not silently emitted.
+		{"per-source double count", func(s *Snapshot) { s.Prefetch.EngineIssued++ }},
+		{"per-source undercount", func(s *Snapshot) { s.Prefetch.SWIssued-- }},
 	}
 	for _, c := range bad {
 		s := validSnapshot()
 		c.mut(&s)
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s corruption accepted", c.name)
+		}
+	}
+	// The per-source identity is gated: truncated runs commit fewer
+	// software prefetches than they issue, and perfect-memory runs
+	// bypass the tracker, so a mismatch is legal there.
+	for _, gate := range []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"truncated", func(s *Snapshot) { s.Truncated = true }},
+		{"perfect-mem", func(s *Snapshot) { s.PerfectMem = true }},
+	} {
+		s := validSnapshot()
+		s.Prefetch.EngineIssued++
+		s.Prefetch.Useless++ // keep the outcome identity intact
+		s.Prefetch.Issued++
+		s.Prefetch.SWIssued = 0
+		s.Prefetch.Derived = s.Prefetch.PrefetchStats.Metrics()
+		gate.mut(&s)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s run rejected by gated identity: %v", gate.name, err)
 		}
 	}
 }

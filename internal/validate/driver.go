@@ -10,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/olden"
+	"repro/internal/prefetch"
 )
 
 // Failure describes one divergence (or fault) the driver found.  A
@@ -55,6 +56,13 @@ type Config struct {
 	// Schemes to run; nil selects core.Schemes().  The first entry is
 	// the cycle-sanity baseline (conventionally SchemeNone).
 	Schemes []core.Scheme
+	// Engines names registry prefetch engines (internal/prefetch) to
+	// validate in addition to the schemes: each runs the unmodified
+	// (scheme-none) workload with the engine attached, skip on and off,
+	// against the same oracle.  nil selects prefetch.Competitors() —
+	// the engines no scheme default already covers; an empty non-nil
+	// slice disables the engine leg.
+	Engines []string
 	// Timeout is the per-simulation deadline (0 = DefaultTimeout,
 	// negative = none).
 	Timeout time.Duration
@@ -74,6 +82,9 @@ type Config struct {
 func (c Config) norm() Config {
 	if c.Schemes == nil {
 		c.Schemes = core.Schemes()
+	}
+	if c.Engines == nil {
+		c.Engines = prefetch.Competitors()
 	}
 	if c.Timeout == 0 {
 		c.Timeout = DefaultTimeout
@@ -262,6 +273,20 @@ func CheckProgram(seed uint64, cfg Config) []Failure {
 			fails = append(fails, cycleSanity(fmt.Sprintf("%s/%s", subject, scheme), cycles, base, cfg)...)
 		}
 	}
+	// Engine leg: registry prefetchers are pure hardware — they must not
+	// perturb the committed stream, so the same oracle digest applies.
+	for _, engName := range cfg.Engines {
+		name := fmt.Sprintf("%s/eng=%s", subject, engName)
+		spec := harness.Spec{
+			Bench:  subject,
+			Kernel: kernel,
+			Engine: engName,
+			Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+		}
+		runFails, cycles := checkRuns(name, spec, full, st.Total(), true, cfg)
+		fails = append(fails, runFails...)
+		fails = append(fails, cycleSanity(name, cycles, base, cfg)...)
+	}
 	return fails
 }
 
@@ -314,6 +339,24 @@ func CheckKernel(bench string, size olden.Size, cfg Config) []Failure {
 		if i == 0 {
 			base = cycles
 		} else {
+			fails = append(fails, cycleSanity(subject, cycles, base, cfg)...)
+		}
+	}
+	// Engine leg: every configured registry engine runs the unmodified
+	// (scheme-none) kernel.  Engines are invisible to architectural
+	// state, so the scheme-none oracle digest is the reference.
+	if len(cfg.Engines) > 0 {
+		params := olden.Params{Scheme: core.SchemeNone, Size: size}
+		full, _, st, err := oracleGuarded(b.Kernel(params), false)
+		if err != nil {
+			fails = append(fails, Failure{Subject: bench + "/eng", Check: "oracle", Detail: err.Error()})
+			return fails
+		}
+		for _, engName := range cfg.Engines {
+			subject := fmt.Sprintf("%s/eng=%s", bench, engName)
+			spec := harness.Spec{Bench: bench, Params: params, Engine: engName}
+			runFails, cycles := checkRuns(subject, spec, full, st.Total(), false, cfg)
+			fails = append(fails, runFails...)
 			fails = append(fails, cycleSanity(subject, cycles, base, cfg)...)
 		}
 	}

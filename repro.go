@@ -40,6 +40,7 @@ import (
 	"repro/internal/dbp"
 	"repro/internal/harness"
 	"repro/internal/olden"
+	"repro/internal/prefetch"
 	"repro/internal/validate"
 )
 
@@ -102,6 +103,10 @@ type Config struct {
 	// Idiom overrides the benchmark's representative idiom for the
 	// software and cooperative schemes.
 	Idiom Idiom
+	// Engine names a registered prefetch engine (see Engines) to attach
+	// instead of the scheme's default, so any workload can run under any
+	// prefetcher ("" keeps the scheme's engine).
+	Engine string
 	// Interval is the jump-pointer distance in nodes (0 = 8, Table 2).
 	Interval int
 	// Size scales the workload (default SizeFull).
@@ -130,7 +135,8 @@ type Decomposition = harness.Decomposition
 
 func (c Config) spec() harness.Spec {
 	spec := harness.Spec{
-		Bench: c.Bench,
+		Bench:  c.Bench,
+		Engine: c.Engine,
 		Params: olden.Params{
 			Scheme:   c.Scheme,
 			Idiom:    c.Idiom,
@@ -160,6 +166,11 @@ func Simulate(c Config) (Result, error) {
 func Split(c Config) (Decomposition, error) {
 	return harness.Decompose(c.spec())
 }
+
+// Engines lists the registered prefetch engines: the paper's own
+// dependence-based ("dbp") and hardware jump-pointer ("hw") engines
+// plus the competitor zoo ("stride", "markov", "hybrid").
+func Engines() []string { return prefetch.Names() }
 
 // BenchmarkInfo describes one workload of the suite.
 type BenchmarkInfo struct {

@@ -61,9 +61,34 @@ func TestBenchmarksListing(t *testing.T) {
 	}
 }
 
+func TestEnginesListing(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Engines() {
+		have[n] = true
+	}
+	for _, want := range []string{"dbp", "hw", "stride", "markov", "hybrid"} {
+		if !have[want] {
+			t.Errorf("Engines() missing %q: %v", want, Engines())
+		}
+	}
+}
+
+func TestEngineOverride(t *testing.T) {
+	res, err := Simulate(Config{Bench: "health", Scheme: SchemeNone, Engine: "stride", Size: SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineName != "stride" {
+		t.Fatalf("EngineName = %q, want stride", res.EngineName)
+	}
+	if _, err := Simulate(Config{Bench: "health", Engine: "nonesuch", Size: SizeTest}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "costs"}
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "costs", "shootout"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
