@@ -1,0 +1,122 @@
+// Command jppd is the simulation service daemon: a long-running HTTP
+// server that accepts experiment specs, executes them on a
+// worker-per-core sharded pool with a bounded job queue, and memoizes
+// every result in a content-addressed cache (see internal/server).
+//
+// Usage:
+//
+//	jppd [-addr 127.0.0.1:8080] [-workers 0] [-queue 0] [-epoch 0]
+//	     [-cachedir DIR] [-job-timeout 0] [-maxcycles 0]
+//
+// API (JSON everywhere):
+//
+//	POST /v1/jobs          submit a spec; 202 queued, 200 cache hit,
+//	                       429 + Retry-After under backpressure
+//	GET  /v1/jobs/{id}     job status, error, and snapshot when done
+//	GET  /v1/results/{key} the cached stats.Snapshot, byte-identical
+//	GET  /v1/stats         versioned service counters
+//
+// With -cachedir the result store persists across restarts, so a
+// restarted daemon re-serves every previously simulated point without
+// re-running it.  SIGINT/SIGTERM trigger a graceful drain: accepted
+// jobs finish and the final epoch is flushed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jppd:", err)
+		os.Exit(1)
+	}
+}
+
+// Test hooks: serveReady (when non-nil) receives the bound address once
+// the listener is up, and serveStop (when non-nil) triggers the same
+// graceful shutdown as SIGINT.
+var (
+	serveReady chan<- string
+	serveStop  <-chan struct{}
+)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jppd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = fs.Int("workers", 0, "worker shards (0 = one per core)")
+		queue      = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		epoch      = fs.Int("epoch", 0, "completions per epoch merge (0 = 8)")
+		cacheDir   = fs.String("cachedir", "", "persist the result cache in this directory")
+		jobTimeout = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		maxCycles  = fs.Uint64("maxcycles", 0, "simulated-cycle backstop per job (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		EpochSize:  *epoch,
+		CacheDir:   *cacheDir,
+		JobTimeout: *jobTimeout,
+		MaxCycles:  *maxCycles,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "jppd: listening on %s (%d workers, queue %d, epoch %d)\n",
+		ln.Addr(), st.Workers, st.QueueCap, st.EpochSize)
+
+	hs := &http.Server{Handler: srv}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-serveStop:
+			// A nil serveStop blocks forever, leaving only the signal
+			// path; tests close a real channel here.
+		}
+		shutdownCtx, done := context.WithTimeout(context.Background(), 30*time.Second)
+		defer done()
+		hs.Shutdown(shutdownCtx)
+	}()
+	if serveReady != nil {
+		serveReady <- ln.Addr().String()
+	}
+
+	err = hs.Serve(ln)
+	srv.Close() // drain accepted jobs, flush the final epoch
+	final := srv.Stats()
+	fmt.Fprintf(out, "jppd: drained: %d done, %d failed, %d runs, %d cache hits / %d misses\n",
+		final.Jobs.Done, final.Jobs.Failed, final.Runs.Executed, final.Cache.Hits, final.Cache.Misses)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

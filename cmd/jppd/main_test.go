@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-queue", "notanumber"},
+		{"-maxcycles", "-1"},
+		{"-nosuchflag"},
+		{"-workers", "2", "stray-arg"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-h"}, &out)
+	if err == nil {
+		t.Fatal("-h returned nil")
+	}
+	for _, flag := range []string{"-addr", "-workers", "-queue", "-cachedir", "-job-timeout"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("usage missing %s:\n%s", flag, out.String())
+		}
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-addr", "256.0.0.1:http-nope"}, &out); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+// TestDaemonLifecycle boots the real daemon on an ephemeral port,
+// drives one job through the HTTP API, and shuts it down gracefully.
+func TestDaemonLifecycle(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	serveReady, serveStop = ready, stop
+	defer func() { serveReady, serveStop = nil, nil }()
+
+	var out strings.Builder
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-epoch", "1"}, &out)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"health","scheme":"coop","size":"test"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub server.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var jr server.JobResponse
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, sub.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&jr)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == server.StateDone {
+			break
+		}
+		if jr.Status == server.StateFailed {
+			t.Fatalf("job failed: %s", jr.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", jr.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	r, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Version != server.StatsVersion || st.Runs.Executed != 1 {
+		t.Fatalf("stats: version=%d runs=%d", st.Version, st.Runs.Executed)
+	}
+
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "drained") {
+		t.Errorf("daemon log missing lifecycle lines:\n%s", out.String())
+	}
+}

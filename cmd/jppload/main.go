@@ -1,0 +1,418 @@
+// Command jppload is the zipf-skewed load generator for the jppd
+// simulation service.  It builds a request deck over benchmarks x
+// schemes x engines, samples a skewed mix (a few hot specs, a long
+// tail — the shape repeated parameter sweeps from many clients
+// produce), and replays the identical mix for several epochs from
+// concurrent clients, reporting sustained runs/sec, cache hit rate,
+// and p50/p95/p99 latency per epoch as machine-readable JSON.
+//
+// Epoch 1 is the cold pass (the service simulates); later epochs
+// measure the content-addressed cache: the same mix should come back
+// mostly as hits, faster.  -check exits nonzero unless the final epoch
+// beats the first on throughput with a >50% hit rate — the service's
+// headline memoization claim, asserted by CI.
+//
+// Usage:
+//
+//	jppload [-addr host:port] [-n 256] [-epochs 2] [-clients 8]
+//	        [-zipf 1.2] [-seed 1] [-size test] [-benches a,b,...]
+//	        [-schemes none,dbp,...] [-engines stride,...] [-check]
+//
+// With no -addr it starts an in-process server (one worker per core)
+// and drives that over loopback, so a single command demonstrates the
+// full service without a running daemon.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jppload:", err)
+		os.Exit(1)
+	}
+}
+
+// epochReport is one epoch's aggregate measurements.
+type epochReport struct {
+	Epoch     int `json:"epoch"`
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Coalesced counts submissions attached to an identical in-flight
+	// job (single-flight); CacheHits counts submissions served from the
+	// result store with no work scheduled.
+	Coalesced    int     `json:"coalesced"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Retries429   int     `json:"retries_429"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	LatencyMS    struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+}
+
+// report is the full machine-readable output.
+type report struct {
+	Version int `json:"version"`
+	Config  struct {
+		Addr     string  `json:"addr"`
+		Requests int     `json:"requests_per_epoch"`
+		Epochs   int     `json:"epochs"`
+		Clients  int     `json:"clients"`
+		Zipf     float64 `json:"zipf_s"`
+		Seed     uint64  `json:"seed"`
+		Size     string  `json:"size"`
+		DeckSize int     `json:"deck_size"`
+	} `json:"config"`
+	Epochs []epochReport         `json:"epochs"`
+	Server *server.StatsResponse `json:"server_stats,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jppload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr      = fs.String("addr", "", "jppd address (empty = start an in-process server)")
+		n         = fs.Int("n", 256, "requests per epoch")
+		epochs    = fs.Int("epochs", 2, "epochs (the same mix is replayed each epoch)")
+		clients   = fs.Int("clients", 8, "concurrent client goroutines")
+		zipfS     = fs.Float64("zipf", 1.2, "zipf skew s (> 1; larger = hotter head)")
+		seed      = fs.Uint64("seed", 1, "mix RNG seed")
+		size      = fs.String("size", "test", "workload size: test|small|full|large")
+		benches   = fs.String("benches", "", "comma-separated benchmark list (default all)")
+		schemes   = fs.String("schemes", "none,dbp,sw,coop,hw", "comma-separated scheme list")
+		engines   = fs.String("engines", "", "comma-separated engine overrides mixed in (default none)")
+		timeoutMS = fs.Int("timeout-ms", 0, "per-job deadline sent with every request")
+		workers   = fs.Int("workers", 0, "in-process server: worker shards (0 = one per core)")
+		queue     = fs.Int("queue", 0, "in-process server: queue depth (0 = 4x workers)")
+		check     = fs.Bool("check", false, "exit nonzero unless the final epoch beats the first with >50% hit rate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *n <= 0 || *epochs <= 0 || *clients <= 0 {
+		return fmt.Errorf("-n, -epochs and -clients must be positive")
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1, got %g", *zipfS)
+	}
+	if *check && *epochs < 2 {
+		return fmt.Errorf("-check needs at least 2 epochs")
+	}
+	switch *size {
+	case "test", "small", "full", "large":
+	default:
+		return fmt.Errorf("unknown size %q", *size)
+	}
+
+	deck, err := buildDeck(*benches, *schemes, *engines, *size, *timeoutMS)
+	if err != nil {
+		return err
+	}
+
+	// The mix is sampled once and replayed every epoch: identical keys,
+	// so later epochs measure the cache, not a different workload.
+	rng := rand.New(rand.NewSource(int64(*seed)))
+	rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(deck)-1))
+	mix := make([]int, *n)
+	for i := range mix {
+		mix[i] = int(zipf.Uint64())
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := server.New(server.Config{Workers: *workers, QueueDepth: *queue})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer func() {
+			ln.Close()
+			srv.Close()
+		}()
+		base = ln.Addr().String()
+	}
+	baseURL := "http://" + strings.TrimPrefix(base, "http://")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	var rep report
+	rep.Version = 1
+	rep.Config.Addr = base
+	rep.Config.Requests = *n
+	rep.Config.Epochs = *epochs
+	rep.Config.Clients = *clients
+	rep.Config.Zipf = *zipfS
+	rep.Config.Seed = *seed
+	rep.Config.Size = *size
+	rep.Config.DeckSize = len(deck)
+
+	for e := 1; e <= *epochs; e++ {
+		er, err := runEpoch(client, baseURL, deck, mix, *clients)
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		er.Epoch = e
+		rep.Epochs = append(rep.Epochs, er)
+	}
+
+	if resp, err := client.Get(baseURL + "/v1/stats"); err == nil {
+		var st server.StatsResponse
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			rep.Server = &st
+		}
+		resp.Body.Close()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", data)
+
+	if *check {
+		first, last := rep.Epochs[0], rep.Epochs[len(rep.Epochs)-1]
+		if last.Failed > 0 || first.Failed > 0 {
+			return fmt.Errorf("check failed: %d/%d failed requests", first.Failed, last.Failed)
+		}
+		if last.CacheHitRate <= 0.5 {
+			return fmt.Errorf("check failed: final epoch hit rate %.2f <= 0.50", last.CacheHitRate)
+		}
+		if last.RunsPerSec <= first.RunsPerSec {
+			return fmt.Errorf("check failed: final epoch %.1f runs/sec not above first epoch %.1f",
+				last.RunsPerSec, first.RunsPerSec)
+		}
+	}
+	return nil
+}
+
+// buildDeck enumerates the request cross product, validating every name
+// client-side so a typo fails fast rather than as n HTTP 400s.
+func buildDeck(benches, schemes, engines, size string, timeoutMS int) ([]server.SpecRequest, error) {
+	known := map[string]bool{}
+	for _, b := range repro.Benchmarks() {
+		known[b.Name] = true
+	}
+	var benchList []string
+	if benches == "" {
+		for _, b := range repro.Benchmarks() {
+			benchList = append(benchList, b.Name)
+		}
+	} else {
+		for _, b := range strings.Split(benches, ",") {
+			b = strings.TrimSpace(b)
+			if !known[b] {
+				return nil, fmt.Errorf("unknown bench %q", b)
+			}
+			benchList = append(benchList, b)
+		}
+	}
+
+	schemeSet := map[string]bool{"none": true, "dbp": true, "sw": true, "coop": true, "hw": true}
+	var schemeList []string
+	for _, s := range strings.Split(schemes, ",") {
+		s = strings.TrimSpace(s)
+		if !schemeSet[s] {
+			return nil, fmt.Errorf("unknown scheme %q (want none|dbp|sw|coop|hw)", s)
+		}
+		schemeList = append(schemeList, s)
+	}
+	if len(schemeList) == 0 {
+		return nil, fmt.Errorf("empty scheme list")
+	}
+
+	engineList := []string{""} // scheme-default engine
+	if engines != "" {
+		knownEng := map[string]bool{}
+		for _, e := range repro.Engines() {
+			knownEng[e] = true
+		}
+		for _, e := range strings.Split(engines, ",") {
+			e = strings.TrimSpace(e)
+			if !knownEng[e] {
+				return nil, fmt.Errorf("unknown engine %q (have %s)", e, strings.Join(repro.Engines(), ", "))
+			}
+			engineList = append(engineList, e)
+		}
+	}
+
+	var deck []server.SpecRequest
+	for _, b := range benchList {
+		for _, s := range schemeList {
+			for _, e := range engineList {
+				deck = append(deck, server.SpecRequest{
+					Bench: b, Scheme: s, Engine: e, Size: size, TimeoutMS: timeoutMS,
+				})
+			}
+		}
+	}
+	return deck, nil
+}
+
+// reqOutcome is one request's client-side measurement.
+type reqOutcome struct {
+	lat       time.Duration
+	cached    bool
+	coalesced bool
+	retries   int
+	err       error
+}
+
+// runEpoch replays the mix once through the client pool.
+func runEpoch(client *http.Client, baseURL string, deck []server.SpecRequest, mix []int, clients int) (epochReport, error) {
+	outcomes := make([]reqOutcome, len(mix))
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		go func() {
+			for i := range idxCh {
+				outcomes[i] = doRequest(client, baseURL, deck[mix[i]])
+			}
+			done <- struct{}{}
+		}()
+	}
+	start := time.Now()
+	for i := range mix {
+		idxCh <- i
+	}
+	close(idxCh)
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	var er epochReport
+	er.Requests = len(mix)
+	er.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	var lats []time.Duration
+	for _, o := range outcomes {
+		er.Retries429 += o.retries
+		if o.err != nil {
+			er.Failed++
+			continue
+		}
+		er.Completed++
+		lats = append(lats, o.lat)
+		if o.cached {
+			er.CacheHits++
+		}
+		if o.coalesced {
+			er.Coalesced++
+		}
+	}
+	if er.Completed > 0 {
+		er.CacheHitRate = float64(er.CacheHits) / float64(er.Completed)
+		er.RunsPerSec = float64(er.Completed) / elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	er.LatencyMS.P50 = pctMS(lats, 0.50)
+	er.LatencyMS.P95 = pctMS(lats, 0.95)
+	er.LatencyMS.P99 = pctMS(lats, 0.99)
+	return er, nil
+}
+
+// pctMS reads the p'th percentile (nearest-rank) of sorted latencies.
+func pctMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)-1) + 0.5)
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// doRequest submits one spec and follows it to a terminal state:
+// retrying through backpressure, returning immediately on a cache hit,
+// polling the job otherwise.
+func doRequest(client *http.Client, baseURL string, spec server.SpecRequest) reqOutcome {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return reqOutcome{err: err}
+	}
+	start := time.Now()
+	var out reqOutcome
+	var sub server.SubmitResponse
+	for {
+		resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return reqOutcome{err: err, retries: out.retries}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			out.retries++
+			// Retry-After has whole-second granularity; under test-size
+			// jobs the queue drains in milliseconds, so poll faster.
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return reqOutcome{err: fmt.Errorf("submit: %d: %s", resp.StatusCode, bytes.TrimSpace(data)), retries: out.retries}
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			return reqOutcome{err: err, retries: out.retries}
+		}
+		break
+	}
+	out.cached = sub.Cached
+	out.coalesced = sub.Coalesced
+	if sub.Cached {
+		out.lat = time.Since(start)
+		return out
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := client.Get(baseURL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return reqOutcome{err: err, retries: out.retries}
+		}
+		var jr server.JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			return reqOutcome{err: err, retries: out.retries}
+		}
+		switch jr.Status {
+		case server.StateDone:
+			out.lat = time.Since(start)
+			return out
+		case server.StateFailed:
+			return reqOutcome{err: fmt.Errorf("job %s failed: %s", sub.ID, jr.Error), retries: out.retries}
+		}
+		if time.Now().After(deadline) {
+			return reqOutcome{err: fmt.Errorf("job %s stuck in %s", sub.ID, jr.Status), retries: out.retries}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

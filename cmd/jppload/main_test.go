@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-epochs", "0"},
+		{"-clients", "-1"},
+		{"-zipf", "1.0"},
+		{"-zipf", "0.9"},
+		{"-size", "enormous"},
+		{"-benches", "health,nosuchbench"},
+		{"-schemes", "coop,warp"},
+		{"-schemes", ""},
+		{"-engines", "dbp,nosuchengine"},
+		{"-check", "-epochs", "1"},
+		{"-nosuchflag"},
+		{"-n", "4", "stray-arg"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err == nil {
+		t.Fatal("-h returned nil")
+	}
+	for _, flag := range []string{"-addr", "-zipf", "-epochs", "-check", "-benches"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("usage missing %s:\n%s", flag, out.String())
+		}
+	}
+}
+
+func TestBuildDeckCrossProduct(t *testing.T) {
+	deck, err := buildDeck("health,mst", "none,coop", "stride", "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benches x 2 schemes x (default engine + stride) = 8.
+	if len(deck) != 8 {
+		t.Fatalf("deck size = %d, want 8", len(deck))
+	}
+	for _, d := range deck {
+		if d.Size != "test" {
+			t.Fatalf("deck entry lost size: %+v", d)
+		}
+	}
+}
+
+// TestLoadGeneratorDemo is the acceptance demo: replaying a zipf mix
+// against an in-process server, the second epoch must be served mostly
+// from the content-addressed cache (hit rate > 50%) and sustain
+// strictly more runs/sec than the cold first epoch.  -check makes the
+// binary itself enforce this; the test re-asserts from the JSON so a
+// report/check mismatch cannot slip through.
+func TestLoadGeneratorDemo(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "48", "-epochs", "2", "-clients", "4", "-zipf", "1.3",
+		"-seed", "7", "-size", "test", "-benches", "health,mst,treeadd",
+		"-check",
+	}, &out)
+	if err != nil {
+		t.Fatalf("jppload -check failed: %v\n%s", err, out.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Version != 1 || len(rep.Epochs) != 2 {
+		t.Fatalf("report shape: version=%d epochs=%d", rep.Version, len(rep.Epochs))
+	}
+	first, second := rep.Epochs[0], rep.Epochs[1]
+	if first.Completed != 48 || second.Completed != 48 || first.Failed+second.Failed != 0 {
+		t.Fatalf("not all requests completed: %+v / %+v", first, second)
+	}
+	if second.CacheHitRate <= 0.5 {
+		t.Errorf("second epoch hit rate %.2f <= 0.50", second.CacheHitRate)
+	}
+	if second.RunsPerSec <= first.RunsPerSec {
+		t.Errorf("second epoch %.1f runs/sec not above first %.1f",
+			second.RunsPerSec, first.RunsPerSec)
+	}
+	if second.LatencyMS.P50 <= 0 || second.LatencyMS.P99 < second.LatencyMS.P50 {
+		t.Errorf("degenerate latency percentiles: %+v", second.LatencyMS)
+	}
+	if rep.Server == nil || rep.Server.Version != 1 {
+		t.Fatalf("missing/unversioned server stats in report")
+	}
+	// Every simulation the server ran was for a distinct canonical spec:
+	// single-flight plus the cache cap executed runs at the deck size.
+	if rep.Server.Runs.Executed > uint64(rep.Config.DeckSize) {
+		t.Errorf("server executed %d runs for a deck of %d distinct specs",
+			rep.Server.Runs.Executed, rep.Config.DeckSize)
+	}
+}
+
+// TestEpochOneDedup: even within the cold epoch, repeated submissions of
+// the hot head of the zipf mix must not re-simulate — they land as
+// cache hits or coalesce onto the in-flight job.
+func TestEpochOneDedup(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "64", "-epochs", "1", "-clients", "8", "-zipf", "2.0",
+		"-seed", "3", "-size", "test", "-benches", "health",
+	}, &out)
+	if err != nil {
+		t.Fatalf("jppload failed: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Epochs[0]
+	if e.Completed != 64 || e.Failed != 0 {
+		t.Fatalf("epoch: %+v", e)
+	}
+	if e.CacheHits+e.Coalesced == 0 {
+		t.Errorf("zipf s=2.0 mix of 64 requests over a 5-spec deck produced no dedup: %+v", e)
+	}
+	if rep.Server.Runs.Executed > uint64(rep.Config.DeckSize) {
+		t.Errorf("executed %d runs for %d distinct specs", rep.Server.Runs.Executed, rep.Config.DeckSize)
+	}
+}

@@ -55,6 +55,13 @@ func runRecover(spec Spec) (res Result, err error) {
 	return Run(spec)
 }
 
+// outcome is a finished guarded run: the result, or the error its
+// panic/failure was converted to.
+type outcome struct {
+	res Result
+	err error
+}
+
 // RunGuarded is the fault-isolated Run used by the batch runner and the
 // validation driver: panics become errors, and when spec.Timeout is set
 // a wedged run is abandoned after the deadline and reported as
@@ -65,10 +72,6 @@ func RunGuarded(spec Spec) (Result, error) {
 	if spec.Timeout <= 0 {
 		return runRecover(spec)
 	}
-	type outcome struct {
-		res Result
-		err error
-	}
 	ch := make(chan outcome, 1)
 	go func() {
 		res, err := runRecover(spec)
@@ -76,10 +79,27 @@ func RunGuarded(spec Spec) (Result, error) {
 	}()
 	timer := time.NewTimer(spec.Timeout)
 	defer timer.Stop()
+	return awaitRun(spec, ch, timer.C)
+}
+
+// awaitRun settles a guarded run against its deadline.  When both the
+// run's own outcome and the expired timer are ready — a run (or a
+// recovered panic) landing in the same scheduling window as its
+// deadline — a bare select would pick at random and could misreport
+// the actual outcome as ErrDeadline, hiding a real result or masking a
+// kernel panic behind a generic deadline error.  The deadline arm
+// therefore re-checks the outcome channel and only reports ErrDeadline
+// when the run truly has not finished.
+func awaitRun(spec Spec, ch <-chan outcome, deadline <-chan time.Time) (Result, error) {
 	select {
 	case o := <-ch:
 		return o.res, o.err
-	case <-timer.C:
+	case <-deadline:
+		select {
+		case o := <-ch:
+			return o.res, o.err
+		default:
+		}
 		return Result{}, fmt.Errorf("harness: run %s/%v exceeded %v: %w",
 			spec.Bench, spec.Params.Scheme, spec.Timeout, ErrDeadline)
 	}

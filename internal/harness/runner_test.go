@@ -197,6 +197,69 @@ func TestRunGuardedDeadline(t *testing.T) {
 	}
 }
 
+// TestAwaitRunPrefersOutcomeOverDeadline pins the double-error path: a
+// run that finishes (here: with a recovered panic) in the same
+// scheduling window its deadline expires must be reported as itself,
+// not as ErrDeadline.  Before awaitRun re-checked the outcome channel,
+// the bare select chose between the two ready cases at random, so this
+// failed roughly half the iterations.
+func TestAwaitRunPrefersOutcomeOverDeadline(t *testing.T) {
+	spec := Spec{Bench: "double", Timeout: time.Millisecond}
+	panicErr := errors.New("recovered kernel panic")
+	for i := 0; i < 200; i++ {
+		ch := make(chan outcome, 1)
+		ch <- outcome{err: panicErr}
+		fired := make(chan time.Time)
+		close(fired) // the deadline arm is permanently ready
+		_, err := awaitRun(spec, ch, fired)
+		if !errors.Is(err, panicErr) {
+			t.Fatalf("iteration %d: awaitRun = %v, want the run's own error %v", i, err, panicErr)
+		}
+	}
+}
+
+// TestRunBatchPanicAfterDeadline combines the two fault-isolation
+// mechanisms end to end: a kernel that wedges past its deadline and
+// then panics.  The slot must report ErrDeadline (the deadline fired
+// first), the neighbouring slots must complete, and the late panic in
+// the abandoned goroutine must be recovered rather than killing the
+// process.
+func TestRunBatchPanicAfterDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	unwound := make(chan struct{})
+	late := Spec{
+		Bench:  "latepanic",
+		Params: olden.Params{Scheme: core.SchemeNone, Size: olden.SizeTest},
+		Kernel: func(a *ir.Asm) {
+			a.Op(ir.FirstUserSite, ir.IntAlu, 1, ir.Imm(1), ir.Val{})
+			defer close(unwound)
+			<-gate
+			panic("panic after deadline expiry")
+		},
+		Timeout: time.Millisecond,
+	}
+	items := RunBatch([]Spec{
+		testSpec("health", core.SchemeNone),
+		late,
+		testSpec("mst", core.SchemeNone),
+	}, 3)
+	if !errors.Is(items[1].Err, ErrDeadline) {
+		t.Fatalf("late-panic slot error = %v, want ErrDeadline", items[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil {
+			t.Errorf("slot %d errored: %v", i, items[i].Err)
+		}
+	}
+	// Release the abandoned run so it panics now, after its slot was
+	// already settled as a deadline overrun.  The recovery chain (kernel
+	// goroutine -> generator -> runRecover) must swallow it; if it does
+	// not, the unrecovered panic crashes the test process.
+	close(gate)
+	<-unwound
+	time.Sleep(50 * time.Millisecond)
+}
+
 // Spec.Kernel runs instead of the registry benchmark, and the run
 // produces real architectural state.
 func TestRunCustomKernel(t *testing.T) {

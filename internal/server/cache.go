@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ResultCache is the content-addressed result store: canonical spec key
+// -> the exact bytes of the marshaled stats.Snapshot that spec
+// produced.  Entries are immutable — the simulator is deterministic, so
+// a key can only ever map to one byte string, and the first write wins.
+// When backed by a directory the cache persists across server restarts:
+// every merged entry is written to <dir>/<key>.json with an atomic
+// tmp+rename, and an in-memory miss falls back to a disk probe, so a
+// restarted daemon re-serves every previously simulated point without
+// re-running it.
+type ResultCache struct {
+	dir string
+
+	mu  sync.RWMutex
+	mem map[Key][]byte
+}
+
+// NewResultCache opens a cache.  dir == "" selects a memory-only cache;
+// otherwise the directory is created if needed and used for
+// persistence.
+func NewResultCache(dir string) (*ResultCache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	return &ResultCache{dir: dir, mem: make(map[Key][]byte)}, nil
+}
+
+// path returns the persistence file for k.  Keys are validated hex
+// (ParseKey / Canon.Key), so the join cannot escape the cache dir.
+func (c *ResultCache) path(k Key) string {
+	return filepath.Join(c.dir, string(k)+".json")
+}
+
+// Get returns the stored snapshot bytes for k.  A memory miss probes
+// the persistence directory; a parseable on-disk entry is memoized and
+// served, a corrupt one is treated as a miss (it will be re-simulated
+// and rewritten).
+func (c *ResultCache) Get(k Key) ([]byte, bool) {
+	c.mu.RLock()
+	data, ok := c.mem[k]
+	c.mu.RUnlock()
+	if ok {
+		return data, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return nil, false
+	}
+	// Never serve bytes that do not decode to a current-schema
+	// snapshot: a truncated write or a stale-format file is a miss.
+	snaps, err := stats.ParseSnapshots(data)
+	if err != nil || len(snaps) != 1 || snaps[0].Validate() != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if prev, dup := c.mem[k]; dup {
+		data = prev // another goroutine loaded it first; keep one copy
+	} else {
+		c.mem[k] = data
+	}
+	c.mu.Unlock()
+	return data, true
+}
+
+// Put stores the snapshot bytes for k in memory and, when persistent,
+// on disk.  The first write wins; re-putting an existing key is a
+// no-op, preserving the byte-identity guarantee for everything already
+// served.
+func (c *ResultCache) Put(k Key, data []byte) {
+	c.mu.Lock()
+	if _, dup := c.mem[k]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.mem[k] = data
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	// Atomic publish: a reader never observes a partial file.  Failures
+	// are non-fatal — the entry still serves from memory, and the disk
+	// copy is retried the next time the key is re-simulated after a
+	// restart.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(k)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Len reports the number of in-memory entries (disk-only entries not
+// yet probed are not counted).
+func (c *ResultCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}

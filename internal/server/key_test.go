@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/olden"
+	"repro/internal/prefetch"
+)
+
+func mustKey(t *testing.T, req SpecRequest) Key {
+	t.Helper()
+	c, err := Normalize(req)
+	if err != nil {
+		t.Fatalf("Normalize(%+v): %v", req, err)
+	}
+	return c.Key()
+}
+
+// TestKeyDefaultFilling: a bare request and the same request with every
+// default spelled out explicitly hash identically.
+func TestKeyDefaultFilling(t *testing.T) {
+	bare := mustKey(t, SpecRequest{Bench: "health", Scheme: "coop"})
+	explicit := mustKey(t, SpecRequest{
+		Bench:      "health",
+		Scheme:     "coop",
+		Idiom:      "chain", // health's representative idiom
+		Engine:     "dbp",   // coop's default engine
+		Interval:   8,       // Table 2 default
+		Size:       "full",
+		MemLatency: 70,
+	})
+	if bare != explicit {
+		t.Fatalf("default-filled spec hashes differently:\nbare     %s\nexplicit %s", bare, explicit)
+	}
+}
+
+// TestKeyIgnoresInertFields: fields a scheme cannot consume (an idiom
+// under a hardware scheme, an interval with nothing to look ahead, the
+// creation-only flag outside software idiom code, the timeout) do not
+// split the key.
+func TestKeyIgnoresInertFields(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b SpecRequest
+	}{
+		{"idiom under hw scheme", SpecRequest{Bench: "health", Scheme: "hw"},
+			SpecRequest{Bench: "health", Scheme: "hw", Idiom: "chain"}},
+		{"interval with no consumer", SpecRequest{Bench: "health", Scheme: "none"},
+			SpecRequest{Bench: "health", Scheme: "none", Interval: 5}},
+		{"creation_only under dbp", SpecRequest{Bench: "health", Scheme: "dbp"},
+			SpecRequest{Bench: "health", Scheme: "dbp", CreationOnly: true}},
+		{"timeout", SpecRequest{Bench: "health", Scheme: "sw"},
+			SpecRequest{Bench: "health", Scheme: "sw", TimeoutMS: 5000}},
+		{"explicit default engine", SpecRequest{Bench: "mst", Scheme: "hw"},
+			SpecRequest{Bench: "mst", Scheme: "hw", Engine: "hw"}},
+	} {
+		if ka, kb := mustKey(t, tc.a), mustKey(t, tc.b); ka != kb {
+			t.Errorf("%s: keys differ (%s vs %s)", tc.name, ka, kb)
+		}
+	}
+}
+
+// TestKeySplitsOnMeaningfulFields: every semantically meaningful change
+// changes the key.
+func TestKeySplitsOnMeaningfulFields(t *testing.T) {
+	base := SpecRequest{Bench: "health", Scheme: "coop", Size: "small"}
+	baseKey := mustKey(t, base)
+	for _, tc := range []struct {
+		name string
+		req  SpecRequest
+	}{
+		{"bench", SpecRequest{Bench: "mst", Scheme: "coop", Size: "small"}},
+		{"scheme", SpecRequest{Bench: "health", Scheme: "sw", Size: "small"}},
+		{"idiom", SpecRequest{Bench: "health", Scheme: "coop", Size: "small", Idiom: "queue"}},
+		{"engine", SpecRequest{Bench: "health", Scheme: "coop", Size: "small", Engine: "stride"}},
+		{"interval", SpecRequest{Bench: "health", Scheme: "coop", Size: "small", Interval: 4}},
+		{"size", SpecRequest{Bench: "health", Scheme: "coop", Size: "test"}},
+		{"memlat", SpecRequest{Bench: "health", Scheme: "coop", Size: "small", MemLatency: 140}},
+		{"creation_only", SpecRequest{Bench: "health", Scheme: "coop", Size: "small", CreationOnly: true}},
+	} {
+		if k := mustKey(t, tc.req); k == baseKey {
+			t.Errorf("changing %s did not change the key", tc.name)
+		}
+	}
+	// An engine override on a scheme that attaches none by default is
+	// meaningful too.
+	if mustKey(t, SpecRequest{Bench: "health"}) == mustKey(t, SpecRequest{Bench: "health", Engine: "markov"}) {
+		t.Error("attaching an engine to the baseline did not change the key")
+	}
+}
+
+// TestKeyJSONFieldOrder: the same request serialized with different
+// JSON member orderings decodes to the same key (the wire-level half of
+// canonicalization).
+func TestKeyJSONFieldOrder(t *testing.T) {
+	bodies := []string{
+		`{"bench":"perimeter","scheme":"sw","idiom":"root","size":"small","interval":4}`,
+		`{"interval":4,"size":"small","idiom":"root","scheme":"sw","bench":"perimeter"}`,
+		`{"size":"small","bench":"perimeter","interval":4,"scheme":"sw","idiom":"root"}`,
+	}
+	var keys []Key
+	for _, b := range bodies {
+		var req SpecRequest
+		if err := json.Unmarshal([]byte(b), &req); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, mustKey(t, req))
+	}
+	if keys[0] != keys[1] || keys[1] != keys[2] {
+		t.Fatalf("field order changed the key: %v", keys)
+	}
+}
+
+// TestNormalizeLowersToRunnableSpec: the canonical form round-trips
+// into a spec the harness accepts (registry names resolve, overrides
+// only materialize when they differ from Table 2).
+func TestNormalizeLowersToRunnableSpec(t *testing.T) {
+	c, err := Normalize(SpecRequest{Bench: "health", Scheme: "coop", Size: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := c.Spec()
+	if spec.Mem != nil {
+		t.Errorf("default memlat materialized a Mem override")
+	}
+	if _, err := harness.Run(spec); err != nil {
+		t.Fatalf("canonical spec does not run: %v", err)
+	}
+
+	c2, err := Normalize(SpecRequest{Bench: "health", MemLatency: 140, Size: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := c2.Spec()
+	if spec2.Mem == nil || spec2.Mem.MemLatency != 140 {
+		t.Fatalf("memlat override not lowered: %+v", spec2.Mem)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	valid := string(mustKey(t, SpecRequest{Bench: "health"}))
+	if _, err := ParseKey(valid); err != nil {
+		t.Fatalf("ParseKey(own key): %v", err)
+	}
+	for _, bad := range []string{
+		"",
+		"abc",
+		strings.Repeat("g", 64),              // non-hex
+		strings.ToUpper(valid),               // case-sensitive
+		"../../../../etc/passwd",             // traversal
+		valid[:63] + "/",                     // traversal in last byte
+		valid + "0",                          // too long
+		strings.Repeat("a", 63) + "\x00",     // NUL
+		strings.Repeat("0", 32) + "..\\x\\y", // separators
+	} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted", bad)
+		}
+	}
+}
+
+// keyCorpus records canonical-form -> key across all fuzz iterations in
+// this process, proving injectivity on the explored corpus: two
+// different canonical forms never collide, and one canonical form never
+// produces two keys.
+var keyCorpus = struct {
+	sync.Mutex
+	byCanon map[string]Key
+	byKey   map[Key]string
+}{byCanon: map[string]Key{}, byKey: map[Key]string{}}
+
+// FuzzCacheKey throws mutated requests at the canonicalization pipeline:
+// Normalize and Key must never panic, accepted keys must be
+// deterministic, parseable, and injective over the seen corpus.
+func FuzzCacheKey(f *testing.F) {
+	for _, b := range olden.Names() {
+		f.Add(b, "coop", "chain", "", 8, "full", 70, false)
+	}
+	for _, e := range prefetch.Names() {
+		f.Add("health", "none", "", e, 0, "test", 0, false)
+	}
+	f.Add("mst", "sw", "queue", "stride", 16, "small", 140, true)
+	f.Add("", "warp", "spiral", "nosuch", -3, "enormous", -70, false)
+	f.Fuzz(func(t *testing.T, bench, scheme, idiom, engine string, interval int, size string, memlat int, creation bool) {
+		req := SpecRequest{
+			Bench: bench, Scheme: scheme, Idiom: idiom, Engine: engine,
+			Interval: interval, Size: size, MemLatency: memlat, CreationOnly: creation,
+		}
+		c, err := Normalize(req)
+		if err != nil {
+			return // rejected inputs have no key
+		}
+		k1, k2 := c.Key(), c.Key()
+		if k1 != k2 {
+			t.Fatalf("non-deterministic key: %s vs %s", k1, k2)
+		}
+		if _, err := ParseKey(string(k1)); err != nil {
+			t.Fatalf("own key fails ParseKey: %v", err)
+		}
+		canon := c.canonical()
+		keyCorpus.Lock()
+		defer keyCorpus.Unlock()
+		if prev, ok := keyCorpus.byCanon[canon]; ok && prev != k1 {
+			t.Fatalf("canonical %q produced keys %s and %s", canon, prev, k1)
+		}
+		if prevCanon, ok := keyCorpus.byKey[k1]; ok && prevCanon != canon {
+			t.Fatalf("key collision: %q and %q both hash to %s", prevCanon, canon, k1)
+		}
+		keyCorpus.byCanon[canon] = k1
+		keyCorpus.byKey[k1] = canon
+	})
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Job states, as rendered in API responses.
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning = "running"
+	// StateDone: finished; the snapshot is available.
+	StateDone = "done"
+	// StateFailed: the run errored, panicked, or overran its deadline;
+	// the job's Error carries the cause.  Failures are never cached, so
+	// a re-submission retries.
+	StateFailed = "failed"
+)
+
+// job is one accepted unit of work.  The id/key/spec/done fields are
+// immutable after creation; state, errMsg and result are guarded by
+// Server.mu, and done is closed exactly once when the job reaches a
+// terminal state (result/errMsg are immutable from then on).
+type job struct {
+	id   string
+	key  Key
+	spec harness.Spec
+	done chan struct{}
+
+	state  string
+	errMsg string
+	result []byte
+	// cached marks a synthetic record for a submission served entirely
+	// from the result cache (no simulation, no queueing).
+	cached bool
+}
+
+// localEntry is one completed result in a worker's shard-local store,
+// waiting for the next epoch merge into the shared cache.
+type localEntry struct {
+	key  Key
+	data []byte
+	j    *job
+}
+
+// worker is one shard of the pool.  It keeps completed results in a
+// local store and merges them into the shared cache on epoch
+// boundaries — after EpochSize completions, or whenever the queue runs
+// dry — so the global cache lock is amortized over a whole epoch
+// instead of taken per job.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var local []localEntry
+	for {
+		var j *job
+		var ok bool
+		select {
+		case j, ok = <-s.queue:
+		default:
+			// Idle moment: nothing queued, so merge the epoch before
+			// blocking.  Results become globally visible no later than
+			// the instant the system quiesces.
+			s.mergeEpoch(&local)
+			j, ok = <-s.queue
+		}
+		if !ok {
+			s.mergeEpoch(&local)
+			return
+		}
+		s.runJob(j, &local)
+		if len(local) >= s.cfg.EpochSize {
+			s.mergeEpoch(&local)
+		}
+	}
+}
+
+// mergeEpoch publishes a worker's local store into the shared cache and
+// retires the corresponding in-flight entries.  Order matters: an entry
+// enters the cache before it leaves the in-flight index, so at every
+// instant a submitted key is findable in at least one of the two — the
+// invariant the single-flight check in submit relies on.
+func (s *Server) mergeEpoch(local *[]localEntry) {
+	if len(*local) == 0 {
+		return
+	}
+	for _, e := range *local {
+		s.cache.Put(e.key, e.data)
+	}
+	s.mu.Lock()
+	for _, e := range *local {
+		if s.inflight[e.key] == e.j {
+			delete(s.inflight, e.key)
+		}
+	}
+	s.mu.Unlock()
+	s.ctr.epochMerges.Add(1)
+	*local = (*local)[:0]
+}
+
+// runJob executes one job through the guarded run function and settles
+// its terminal state.
+func (s *Server) runJob(j *job, local *[]localEntry) {
+	s.mu.Lock()
+	j.state = StateRunning
+	s.queuedGauge--
+	s.runningGauge++
+	s.mu.Unlock()
+
+	start := time.Now()
+	res, err := s.execute(j.spec)
+	s.ctr.runsExecuted.Add(1)
+	s.observeRunTime(time.Since(start))
+
+	var data []byte
+	if err == nil {
+		// A snapshot that breaks its own invariants must never enter
+		// the content-addressed store: fail the job instead.
+		if verr := res.Stats.Validate(); verr != nil {
+			err = fmt.Errorf("snapshot failed validation: %w", verr)
+		}
+	}
+	if err == nil {
+		data, err = json.Marshal(res.Stats)
+	}
+
+	s.mu.Lock()
+	s.runningGauge--
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		// A failure must not pin the key: the next submission of the
+		// same spec gets a fresh attempt.
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.retireLocked(j.id)
+		s.mu.Unlock()
+		s.ctr.jobsFailed.Add(1)
+		close(j.done)
+		return
+	}
+	j.state = StateDone
+	j.result = data
+	s.retireLocked(j.id)
+	truncated := res.Stats.Truncated
+	if truncated {
+		// A MaxCycles-truncated run is not the spec's true result;
+		// caching it would serve the wrong snapshot forever.  The job
+		// still reports it, but the key stays uncached.
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+	}
+	s.mu.Unlock()
+	s.ctr.jobsDone.Add(1)
+	close(j.done)
+	if !truncated {
+		*local = append(*local, localEntry{j.key, data, j})
+	}
+}
+
+// execute runs one simulation through the configured run function.
+// harness.RunGuarded already converts kernel panics and deadline
+// overruns into errors; this wrapper is the pool's own backstop, so
+// even a panic escaping the run function (or a test stub) fails only
+// the one job rather than killing the worker and orphaning the queue.
+func (s *Server) execute(spec harness.Spec) (res harness.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	return s.run(spec)
+}
+
+// observeRunTime folds one run's wall-clock time into the EWMA the
+// Retry-After estimate is derived from.
+func (s *Server) observeRunTime(d time.Duration) {
+	n := uint64(d.Nanoseconds())
+	for {
+		old := s.ctr.avgRunNanos.Load()
+		next := n
+		if old != 0 {
+			next = (7*old + n) / 8
+		}
+		if s.ctr.avgRunNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retireLocked records a terminal job for retention accounting and
+// evicts the oldest finished records beyond the retention cap.  Only
+// terminal jobs are ever appended, so eviction cannot drop a live one.
+// Callers hold s.mu.
+func (s *Server) retireLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.cfg.JobRetention {
+		delete(s.byID, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}

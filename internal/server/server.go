@@ -1,0 +1,442 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/harness"
+)
+
+// StatsVersion identifies the JSON layout of the /v1/stats payload,
+// following the same versioned-snapshot convention as stats.Snapshot.
+const StatsVersion = 1
+
+// Config sizes the service.  The zero value selects production
+// defaults: one worker per core, a queue four deep per worker, epochs
+// of eight completions, a memory-only cache, and no job deadline.
+type Config struct {
+	// Workers is the pool size (<= 0 selects GOMAXPROCS — one shard
+	// per core).
+	Workers int
+	// QueueDepth bounds the job queue (<= 0 selects 4 * Workers).
+	// A submission that finds the queue full is rejected with 429.
+	QueueDepth int
+	// EpochSize is how many completions a worker accumulates in its
+	// local store before merging into the shared cache (<= 0 selects
+	// 8).  Workers also merge whenever the queue runs dry.
+	EpochSize int
+	// CacheDir persists the result cache across restarts ("" keeps it
+	// in memory only).
+	CacheDir string
+	// JobTimeout is the per-job deadline applied when a request does
+	// not set timeout_ms (0 = no deadline).
+	JobTimeout time.Duration
+	// MaxCycles, when nonzero, is a hard simulated-cycle backstop
+	// applied to every job, so a deadline-abandoned run's background
+	// goroutine cannot simulate forever.  Truncated results are
+	// reported but never cached.
+	MaxCycles uint64
+	// JobRetention caps how many finished job records GET /v1/jobs/{id}
+	// keeps addressable (<= 0 selects 4096).  Results themselves live
+	// in the content-addressed cache and are never evicted.
+	JobRetention int
+	// RunFunc executes one simulation (nil selects harness.RunGuarded,
+	// which isolates panics and enforces Spec.Timeout).  Tests
+	// substitute controllable stubs to exercise queueing and failure
+	// paths without real simulations.
+	RunFunc func(harness.Spec) (harness.Result, error)
+}
+
+// norm fills the config defaults.
+func (c Config) norm() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.EpochSize <= 0 {
+		c.EpochSize = 8
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 4096
+	}
+	if c.RunFunc == nil {
+		c.RunFunc = harness.RunGuarded
+	}
+	return c
+}
+
+// counters are the monotonic service counters; gauges live on Server
+// under mu.
+type counters struct {
+	submitted    atomic.Uint64
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	coalesced    atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	runsExecuted atomic.Uint64
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	epochMerges  atomic.Uint64
+	avgRunNanos  atomic.Uint64
+}
+
+// Server is the jppd simulation service.  It implements http.Handler.
+type Server struct {
+	cfg   Config
+	cache *ResultCache
+	run   func(harness.Spec) (harness.Result, error)
+	mux   *http.ServeMux
+	queue chan *job
+	wg    sync.WaitGroup
+	ctr   counters
+
+	mu             sync.Mutex
+	closed         bool
+	nextID         int
+	byID           map[string]*job
+	inflight       map[Key]*job // queued, running, or done-but-unmerged
+	finished       []string     // terminal job ids, oldest first
+	queuedGauge    int
+	runningGauge   int
+	queueHighWater int
+}
+
+// New builds the service and starts its worker pool.  Callers must
+// Close it to drain the queue and flush the final epoch.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.norm()
+	cache, err := NewResultCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		run:      cfg.RunFunc,
+		queue:    make(chan *job, cfg.QueueDepth),
+		byID:     make(map[string]*job),
+		inflight: make(map[Key]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting work, lets the workers drain every accepted
+// job, and flushes the final epoch merges.  Accepted jobs are never
+// dropped: a 202 means the job will reach a terminal state even if the
+// server is shut down right after.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Cache exposes the result store (read-mostly; used by diagnostics and
+// tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SubmitResponse is the POST /v1/jobs payload.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	// Cached marks a submission served from the result cache (or from
+	// an identical already-completed in-flight job) with no simulation
+	// scheduled.
+	Cached bool `json:"cached"`
+	// Coalesced marks a submission attached to an identical job that
+	// was already queued or running (single-flight): poll the returned
+	// id — exactly one simulation serves every coalesced submitter.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// JobResponse is the GET /v1/jobs/{id} payload.
+type JobResponse struct {
+	ID       string          `json:"id"`
+	Key      string          `json:"key"`
+	Status   string          `json:"status"`
+	Cached   bool            `json:"cached,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats payload, versioned like every
+// other stats JSON the repository emits.
+type StatsResponse struct {
+	Version   int `json:"version"`
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queue_cap"`
+	EpochSize int `json:"epoch_size"`
+	Jobs      struct {
+		Submitted uint64 `json:"submitted"`
+		Accepted  uint64 `json:"accepted"`
+		Rejected  uint64 `json:"rejected"`
+		Coalesced uint64 `json:"coalesced"`
+		Done      uint64 `json:"done"`
+		Failed    uint64 `json:"failed"`
+		Queued    int    `json:"queued"`
+		Running   int    `json:"running"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Entries     int    `json:"entries"`
+		EpochMerges uint64 `json:"epoch_merges"`
+	} `json:"cache"`
+	Queue struct {
+		Depth     int `json:"depth"`
+		HighWater int `json:"high_water"`
+	} `json:"queue"`
+	Runs struct {
+		Executed uint64  `json:"executed"`
+		AvgMS    float64 `json:"avg_ms"`
+	} `json:"runs"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.ctr.submitted.Add(1)
+	var req SpecRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	canon, err := Normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	key := canon.Key()
+	spec := canon.Spec()
+	spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if spec.Timeout == 0 {
+		spec.Timeout = s.cfg.JobTimeout
+	}
+	if s.cfg.MaxCycles > 0 && spec.CPU == nil {
+		c := cpu.Defaults()
+		c.MaxCycles = s.cfg.MaxCycles
+		spec.CPU = &c
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	// Single-flight: any identical submission currently queued,
+	// running, or completed-but-unmerged attaches to the existing job
+	// instead of scheduling a second simulation.  mergeEpoch removes an
+	// in-flight entry only after the cache holds it, so checking
+	// inflight then cache under one lock hold cannot miss both.
+	if j, ok := s.inflight[key]; ok {
+		id, state := j.id, j.state
+		if state == StateDone {
+			s.mu.Unlock()
+			s.ctr.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, SubmitResponse{ID: id, Key: string(key), Status: StateDone, Cached: true})
+			return
+		}
+		s.mu.Unlock()
+		s.ctr.coalesced.Add(1)
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Key: string(key), Status: state, Coalesced: true})
+		return
+	}
+	if data, ok := s.cache.Get(key); ok {
+		j := s.newCachedJobLocked(key, data)
+		s.mu.Unlock()
+		s.ctr.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.id, Key: string(key), Status: StateDone, Cached: true})
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:    fmt.Sprintf("j-%d", s.nextID),
+		key:   key,
+		spec:  spec,
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.ctr.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d deep); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.byID[j.id] = j
+	s.inflight[key] = j
+	s.queuedGauge++
+	if d := len(s.queue); d > s.queueHighWater {
+		s.queueHighWater = d
+	}
+	s.mu.Unlock()
+	s.ctr.accepted.Add(1)
+	s.ctr.cacheMisses.Add(1)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Key: string(key), Status: StateQueued})
+}
+
+// newCachedJobLocked registers a synthetic, already-done job record for
+// a cache-hit submission, so GET /v1/jobs/{id} works uniformly whether
+// the result was simulated or served from the store.  Callers hold
+// s.mu.
+func (s *Server) newCachedJobLocked(key Key, data []byte) *job {
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j-%d", s.nextID),
+		key:    key,
+		done:   make(chan struct{}),
+		state:  StateDone,
+		result: data,
+		cached: true,
+	}
+	close(j.done)
+	s.byID[j.id] = j
+	s.retireLocked(j.id)
+	return j
+}
+
+// retryAfterSeconds estimates when queue space should free up: the
+// depth of work ahead times the average run time, spread over the
+// worker shards; at least one second.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.ctr.avgRunNanos.Load())
+	if avg <= 0 {
+		return 1
+	}
+	est := avg * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	resp := JobResponse{
+		ID:     j.id,
+		Key:    string(j.key),
+		Status: j.state,
+		Cached: j.cached,
+		Error:  j.errMsg,
+	}
+	if j.state == StateDone {
+		resp.Snapshot = json.RawMessage(j.result)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, err := ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad key: %v", err)
+		return
+	}
+	if data, ok := s.cache.Get(key); ok {
+		s.serveSnapshot(w, data)
+		return
+	}
+	// Completed but not yet merged: serve straight from the job.
+	s.mu.Lock()
+	var data []byte
+	if j, ok := s.inflight[key]; ok && j.state == StateDone {
+		data = j.result
+	}
+	s.mu.Unlock()
+	if data != nil {
+		s.serveSnapshot(w, data)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no result for key %s", key)
+}
+
+// serveSnapshot writes the stored snapshot bytes exactly as cached —
+// the byte-identity the content-addressed store guarantees.
+func (s *Server) serveSnapshot(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the versioned counter snapshot.
+func (s *Server) Stats() StatsResponse {
+	var resp StatsResponse
+	resp.Version = StatsVersion
+	resp.Workers = s.cfg.Workers
+	resp.QueueCap = s.cfg.QueueDepth
+	resp.EpochSize = s.cfg.EpochSize
+	resp.Jobs.Submitted = s.ctr.submitted.Load()
+	resp.Jobs.Accepted = s.ctr.accepted.Load()
+	resp.Jobs.Rejected = s.ctr.rejected.Load()
+	resp.Jobs.Coalesced = s.ctr.coalesced.Load()
+	resp.Jobs.Done = s.ctr.jobsDone.Load()
+	resp.Jobs.Failed = s.ctr.jobsFailed.Load()
+	resp.Cache.Hits = s.ctr.cacheHits.Load()
+	resp.Cache.Misses = s.ctr.cacheMisses.Load()
+	resp.Cache.Entries = s.cache.Len()
+	resp.Cache.EpochMerges = s.ctr.epochMerges.Load()
+	resp.Runs.Executed = s.ctr.runsExecuted.Load()
+	resp.Runs.AvgMS = float64(s.ctr.avgRunNanos.Load()) / 1e6
+	resp.Queue.Depth = len(s.queue)
+	s.mu.Lock()
+	resp.Jobs.Queued = s.queuedGauge
+	resp.Jobs.Running = s.runningGauge
+	resp.Queue.HighWater = s.queueHighWater
+	s.mu.Unlock()
+	return resp
+}

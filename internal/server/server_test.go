@@ -1,0 +1,497 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// stubResult fabricates a minimal valid result for RunFunc stubs: the
+// zero snapshot satisfies every Validate identity once the schema
+// version is set.
+func stubResult(spec harness.Spec) (harness.Result, error) {
+	var res harness.Result
+	res.Spec = spec
+	res.Stats = stats.Snapshot{
+		Version: stats.SchemaVersion,
+		Bench:   spec.Bench,
+		Scheme:  spec.Params.Scheme.String(),
+		Size:    spec.Params.Size.String(),
+	}
+	return res, nil
+}
+
+func newTestService(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (SubmitResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return sub, resp.StatusCode
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getRaw(t *testing.T, ts *httptest.Server, path string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.StatusCode
+}
+
+// waitTerminal polls a job until it reaches done or failed.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var jr JobResponse
+		if code := getJSON(t, ts, "/v1/jobs/"+id, &jr); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d", id, code)
+		}
+		if jr.Status == StateDone || jr.Status == StateFailed {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, jr.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func serverStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	var st StatsResponse
+	if code := getJSON(t, ts, "/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	return st
+}
+
+// TestCachedResubmissionByteIdentical is service-level test (a): a
+// re-submission of an already-computed spec — written with different
+// JSON field order and with every default spelled out explicitly — is
+// served from the cache without re-simulating, and GET /v1/results
+// returns byte-identical snapshot bytes both times.  The run counter
+// proves no second simulation happened.
+func TestCachedResubmissionByteIdentical(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, EpochSize: 1})
+
+	first := `{"bench":"health","scheme":"coop","size":"test"}`
+	sub, code := postJob(t, ts, first)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	jr := waitTerminal(t, ts, sub.ID)
+	if jr.Status != StateDone {
+		t.Fatalf("first job %s: %s (%s)", sub.ID, jr.Status, jr.Error)
+	}
+	bytes1, code := getRaw(t, ts, "/v1/results/"+sub.Key)
+	if code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	snaps, err := stats.ParseSnapshots(bytes1)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("served result is not one snapshot: %v", err)
+	}
+	if err := snaps[0].Validate(); err != nil {
+		t.Fatalf("served snapshot invalid: %v", err)
+	}
+
+	// Same spec, different field order, defaults spelled out.
+	second := `{"size":"test","interval":8,"engine":"dbp","idiom":"chain","scheme":"coop","memlat":70,"bench":"health"}`
+	sub2, code := postJob(t, ts, second)
+	if code != http.StatusOK || !sub2.Cached {
+		t.Fatalf("resubmit = %d cached=%t, want 200 cached", code, sub2.Cached)
+	}
+	if sub2.Key != sub.Key {
+		t.Fatalf("resubmit key %s != original %s", sub2.Key, sub.Key)
+	}
+	bytes2, code := getRaw(t, ts, "/v1/results/"+sub2.Key)
+	if code != http.StatusOK {
+		t.Fatalf("GET cached result = %d", code)
+	}
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatalf("cached snapshot differs from original:\n%s\nvs\n%s", bytes1, bytes2)
+	}
+	if st := serverStats(t, ts); st.Runs.Executed != 1 {
+		t.Fatalf("runs executed = %d, want exactly 1", st.Runs.Executed)
+	}
+	// The cached submission's job record reads back as done+cached.
+	jr2 := waitTerminal(t, ts, sub2.ID)
+	if !jr2.Cached || jr2.Status != StateDone {
+		t.Fatalf("cached job record: status=%s cached=%t", jr2.Status, jr2.Cached)
+	}
+}
+
+// TestQueueFullReturns429NeverDrops is service-level test (b): with one
+// worker wedged and the two-deep queue full, the next submission is
+// rejected with 429 + Retry-After — and every job that was accepted
+// (202) still runs to completion once the worker resumes.
+func TestQueueFullReturns429NeverDrops(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	defer release()
+
+	srv, ts := newTestService(t, Config{
+		Workers:    1,
+		QueueDepth: 2,
+		RunFunc: func(spec harness.Spec) (harness.Result, error) {
+			started <- struct{}{}
+			<-gate
+			return stubResult(spec)
+		},
+	})
+	defer srv.Close()
+
+	// Distinct memlat values give every submission its own cache key,
+	// so nothing coalesces.
+	spec := func(i int) string {
+		return fmt.Sprintf(`{"bench":"health","size":"test","memlat":%d}`, 100+i)
+	}
+	sub1, code := postJob(t, ts, spec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1 = %d", code)
+	}
+	<-started // the worker now holds job 1; the queue is empty
+
+	var accepted []string
+	accepted = append(accepted, sub1.ID)
+	for i := 2; i <= 3; i++ {
+		sub, code := postJob(t, ts, spec(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, code)
+		}
+		accepted = append(accepted, sub.ID)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 Retry-After = %q, want a positive second count", ra)
+	}
+
+	release()
+	for _, id := range accepted {
+		if jr := waitTerminal(t, ts, id); jr.Status != StateDone {
+			t.Errorf("accepted job %s ended %s (%s)", id, jr.Status, jr.Error)
+		}
+	}
+	st := serverStats(t, ts)
+	if st.Jobs.Rejected != 1 || st.Jobs.Done != 3 || st.Runs.Executed != 3 {
+		t.Fatalf("stats after drain: rejected=%d done=%d runs=%d, want 1/3/3",
+			st.Jobs.Rejected, st.Jobs.Done, st.Runs.Executed)
+	}
+	if st.Queue.HighWater != 2 {
+		t.Fatalf("queue high water = %d, want 2", st.Queue.HighWater)
+	}
+}
+
+// TestSingleFlight is service-level test (c): N concurrent clients
+// submitting the identical spec produce exactly one simulation; every
+// client is attached to the same job and key.
+func TestSingleFlight(t *testing.T) {
+	gate := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	defer release()
+
+	srv, ts := newTestService(t, Config{
+		Workers: 4,
+		RunFunc: func(spec harness.Spec) (harness.Result, error) {
+			<-gate
+			return stubResult(spec)
+		},
+	})
+	defer srv.Close()
+
+	const clients = 16
+	body := `{"bench":"mst","scheme":"dbp","size":"test"}`
+	subs := make([]SubmitResponse, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i], codes[i] = postJob(t, ts, body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if subs[i].Key != subs[0].Key {
+			t.Fatalf("client %d got key %s, client 0 got %s", i, subs[i].Key, subs[0].Key)
+		}
+		if subs[i].ID != subs[0].ID {
+			t.Fatalf("client %d got job %s, client 0 got %s — not coalesced", i, subs[i].ID, subs[0].ID)
+		}
+	}
+	release()
+	if jr := waitTerminal(t, ts, subs[0].ID); jr.Status != StateDone {
+		t.Fatalf("shared job ended %s (%s)", jr.Status, jr.Error)
+	}
+	st := serverStats(t, ts)
+	if st.Runs.Executed != 1 {
+		t.Fatalf("runs executed = %d, want exactly 1 for %d clients", st.Runs.Executed, clients)
+	}
+	if st.Jobs.Coalesced != clients-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Jobs.Coalesced, clients-1)
+	}
+}
+
+// TestPanicFailsOnlyItsJob is service-level test (d): a job whose
+// simulation panics reaches failed with the recovered message, while
+// concurrent jobs complete and the server keeps serving.
+func TestPanicFailsOnlyItsJob(t *testing.T) {
+	srv, ts := newTestService(t, Config{
+		Workers: 2,
+		RunFunc: func(spec harness.Spec) (harness.Result, error) {
+			if spec.Bench == "bh" {
+				panic("poisoned spec")
+			}
+			return stubResult(spec)
+		},
+	})
+	defer srv.Close()
+
+	bad, code := postJob(t, ts, `{"bench":"bh","size":"test"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("bad submit = %d", code)
+	}
+	good1, _ := postJob(t, ts, `{"bench":"health","size":"test"}`)
+	good2, _ := postJob(t, ts, `{"bench":"mst","size":"test"}`)
+
+	jr := waitTerminal(t, ts, bad.ID)
+	if jr.Status != StateFailed || !strings.Contains(jr.Error, "poisoned spec") {
+		t.Fatalf("poisoned job: status=%s error=%q, want failed with the panic message", jr.Status, jr.Error)
+	}
+	for _, id := range []string{good1.ID, good2.ID} {
+		if jr := waitTerminal(t, ts, id); jr.Status != StateDone {
+			t.Errorf("job %s ended %s (%s)", id, jr.Status, jr.Error)
+		}
+	}
+	// Failures are not cached: the same spec retries with a fresh job.
+	retry, code := postJob(t, ts, `{"bench":"bh","size":"test"}`)
+	if code != http.StatusAccepted || retry.Cached || retry.ID == bad.ID {
+		t.Fatalf("retry after failure: code=%d cached=%t id=%s (failed id %s)", code, retry.Cached, retry.ID, bad.ID)
+	}
+	if jr := waitTerminal(t, ts, retry.ID); jr.Status != StateFailed {
+		t.Fatalf("retry status = %s, want failed again", jr.Status)
+	}
+	st := serverStats(t, ts)
+	if st.Jobs.Failed != 2 || st.Jobs.Done != 2 {
+		t.Fatalf("failed=%d done=%d, want 2/2", st.Jobs.Failed, st.Jobs.Done)
+	}
+}
+
+// TestJobDeadlineEndToEnd drives a real simulation through the real
+// harness with a 1ms deadline: the job must fail with the deadline
+// error, and the configured MaxCycles backstop bounds the abandoned
+// background goroutine.
+func TestJobDeadlineEndToEnd(t *testing.T) {
+	srv, ts := newTestService(t, Config{Workers: 1, MaxCycles: 2_000_000})
+	defer srv.Close()
+	sub, code := postJob(t, ts, `{"bench":"health","scheme":"none","size":"full","timeout_ms":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	jr := waitTerminal(t, ts, sub.ID)
+	if jr.Status != StateFailed || !strings.Contains(jr.Error, "deadline") {
+		t.Fatalf("deadline job: status=%s error=%q, want failed with deadline", jr.Status, jr.Error)
+	}
+}
+
+// TestCachePersistsAcrossRestart exercises the on-disk layer: a result
+// computed by one server instance is served as a cache hit by a fresh
+// instance over the same directory, without re-simulating.
+func TestCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := newTestService(t, Config{Workers: 2, CacheDir: dir, EpochSize: 1})
+	body := `{"bench":"treeadd","scheme":"sw","size":"test"}`
+	sub, code := postJob(t, ts1, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	if jr := waitTerminal(t, ts1, sub.ID); jr.Status != StateDone {
+		t.Fatalf("job ended %s (%s)", jr.Status, jr.Error)
+	}
+	bytes1, code := getRaw(t, ts1, "/v1/results/"+sub.Key)
+	if code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	srv1.Close() // flushes the final epoch to disk
+	if _, err := os.Stat(filepath.Join(dir, sub.Key+".json")); err != nil {
+		t.Fatalf("persisted entry missing: %v", err)
+	}
+
+	srv2, ts2 := newTestService(t, Config{Workers: 2, CacheDir: dir})
+	defer srv2.Close()
+	sub2, code := postJob(t, ts2, body)
+	if code != http.StatusOK || !sub2.Cached {
+		t.Fatalf("restart resubmit = %d cached=%t, want 200 cached", code, sub2.Cached)
+	}
+	bytes2, code := getRaw(t, ts2, "/v1/results/"+sub2.Key)
+	if code != http.StatusOK || !bytes.Equal(bytes1, bytes2) {
+		t.Fatalf("restarted cache served different bytes (code %d)", code)
+	}
+	if st := serverStats(t, ts2); st.Runs.Executed != 0 {
+		t.Fatalf("restarted server executed %d runs, want 0", st.Runs.Executed)
+	}
+}
+
+// TestBadRequests locks down the validation surface: malformed bodies,
+// unknown registry names, unknown fields, and malformed keys are
+// rejected with 400, unknown ids/keys with 404.
+func TestBadRequests(t *testing.T) {
+	srv, ts := newTestService(t, Config{Workers: 1, RunFunc: stubResult})
+	defer srv.Close()
+	for _, body := range []string{
+		``,
+		`{`,
+		`{"bench":""}`,
+		`{"bench":"nosuch"}`,
+		`{"bench":"health","scheme":"warp"}`,
+		`{"bench":"health","idiom":"spiral"}`,
+		`{"bench":"health","size":"enormous"}`,
+		`{"bench":"health","engine":"nosuch"}`,
+		`{"bench":"health","interval":-1}`,
+		`{"bench":"health","memlat":-5}`,
+		`{"bench":"health","timeout_ms":-1}`,
+		`{"bench":"health","typo_field":1}`,
+	} {
+		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("body %q = %d, want 400", body, code)
+		}
+	}
+	if code := getJSON(t, ts, "/v1/jobs/j-999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+	if _, code := getRaw(t, ts, "/v1/results/not-a-key"); code != http.StatusBadRequest {
+		t.Errorf("malformed key = %d, want 400", code)
+	}
+	if _, code := getRaw(t, ts, "/v1/results/"+strings.Repeat("ab", 32)); code != http.StatusNotFound {
+		t.Errorf("unknown key = %d, want 404", code)
+	}
+}
+
+// TestStatsShapeAndEpochMerge checks the versioned stats payload and
+// that worker-local stores actually merge: after the system quiesces,
+// the cache holds the completed results and at least one epoch merge
+// has been counted.
+func TestStatsShapeAndEpochMerge(t *testing.T) {
+	srv, ts := newTestService(t, Config{Workers: 2, EpochSize: 3, RunFunc: stubResult})
+	defer srv.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		sub, code := postJob(t, ts, fmt.Sprintf(`{"bench":"health","size":"test","memlat":%d}`, 200+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		if jr := waitTerminal(t, ts, id); jr.Status != StateDone {
+			t.Fatalf("job %s ended %s", id, jr.Status)
+		}
+	}
+	// Workers merge on idle; give the scheduler a moment, then insist.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := serverStats(t, ts)
+		if st.Cache.Entries == 5 && st.Cache.EpochMerges > 0 {
+			if st.Version != StatsVersion {
+				t.Fatalf("stats version = %d, want %d", st.Version, StatsVersion)
+			}
+			if st.Jobs.Done != 5 || st.Cache.Misses != 5 {
+				t.Fatalf("done=%d misses=%d, want 5/5", st.Jobs.Done, st.Cache.Misses)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch merge never happened: entries=%d merges=%d",
+				st.Cache.Entries, st.Cache.EpochMerges)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseDrainsAcceptedJobs: shutting down with queued work drains it
+// — every accepted job reaches a terminal state before Close returns.
+func TestCloseDrainsAcceptedJobs(t *testing.T) {
+	srv, ts := newTestService(t, Config{Workers: 1, QueueDepth: 8, RunFunc: stubResult})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		sub, code := postJob(t, ts, fmt.Sprintf(`{"bench":"health","size":"test","memlat":%d}`, 300+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		ids = append(ids, sub.ID)
+	}
+	srv.Close()
+	for _, id := range ids {
+		jr := waitTerminal(t, ts, id) // reads still served after Close
+		if jr.Status != StateDone {
+			t.Errorf("job %s ended %s after Close", id, jr.Status)
+		}
+	}
+	if _, code := postJob(t, ts, `{"bench":"health","size":"test"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit after Close = %d, want 503", code)
+	}
+}

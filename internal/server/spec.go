@@ -1,0 +1,290 @@
+// Package server turns the batch simulator into a long-running
+// simulation service: an HTTP/JSON API that accepts harness.Spec-shaped
+// experiment requests, validates them against the workload and
+// prefetch-engine registries, executes them on a worker-per-core
+// sharded pool with a bounded job queue, and memoizes every successful
+// result in a content-addressed cache so repeated sweeps hit stored
+// stats.Snapshots instead of re-simulating.
+//
+// The design follows the coordinator/per-core-worker split of the
+// ROADMAP's service item: each worker keeps a local store of completed
+// results and merges it into the shared cache on epoch boundaries
+// (every EpochSize completions, or whenever the worker goes idle), so
+// the global cache mutex stays off the per-job hot path.  Backpressure
+// is explicit: a full queue rejects new work with 429 + Retry-After
+// rather than queueing unboundedly, and an accepted job is never
+// dropped.  Fault isolation carries over from the batch runner: every
+// job runs through harness.RunGuarded, so a panicking or wedged spec
+// fails only its own job.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/olden"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+)
+
+// cacheFormatVersion identifies the cache-key derivation and the layout
+// of persisted entries.  Bump it whenever the canonicalization rules or
+// the stored byte format change incompatibly: old on-disk entries then
+// simply never match and are re-simulated.
+const cacheFormatVersion = 1
+
+// SpecRequest is the wire shape of one experiment request (the POST
+// /v1/jobs body).  It mirrors the jppsim flag set: every field uses the
+// same string vocabulary the CLIs accept, and zero values select the
+// same defaults.
+type SpecRequest struct {
+	// Bench names an Olden-suite workload (required).
+	Bench string `json:"bench"`
+	// Scheme is none|dbp|sw|coop|hw ("" = none).
+	Scheme string `json:"scheme,omitempty"`
+	// Idiom is queue|full|chain|root ("" = the benchmark's
+	// representative idiom; ignored by non-software schemes).
+	Idiom string `json:"idiom,omitempty"`
+	// Engine names a registered prefetch engine to attach instead of
+	// the scheme's default ("" keeps the default).
+	Engine string `json:"engine,omitempty"`
+	// Interval is the jump-pointer distance in nodes (0 = 8).
+	Interval int `json:"interval,omitempty"`
+	// Size is test|small|full|large ("" = full).
+	Size string `json:"size,omitempty"`
+	// MemLatency overrides the 70-cycle main-memory latency (0 keeps
+	// the Table 2 value).
+	MemLatency int `json:"memlat,omitempty"`
+	// CreationOnly emits jump-pointer creation code but no prefetches
+	// (the paper's §4.2 a-priori cost isolation).
+	CreationOnly bool `json:"creation_only,omitempty"`
+	// TimeoutMS bounds the run's wall-clock time; 0 selects the
+	// server's default job deadline.  The timeout does not change what
+	// a successful run computes, so it is not part of the cache key.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Canon is a validated, default-filled, semantically normalized spec —
+// the canonical form the cache key is derived from.  Two requests that
+// differ only in JSON field order, in explicit-versus-default values,
+// or in fields their scheme ignores (an idiom on a hardware-only
+// scheme, an interval with nothing to look ahead) normalize to the same
+// Canon and therefore the same Key.
+type Canon struct {
+	Bench        string
+	Scheme       core.Scheme
+	Idiom        core.Idiom
+	Engine       string
+	Interval     int
+	Size         olden.Size
+	MemLatency   int
+	CreationOnly bool
+}
+
+// parseScheme mirrors the jppsim vocabulary ("" = none).
+func parseScheme(s string) (core.Scheme, error) {
+	switch s {
+	case "", "none":
+		return core.SchemeNone, nil
+	case "dbp":
+		return core.SchemeDBP, nil
+	case "sw", "software":
+		return core.SchemeSoftware, nil
+	case "coop", "cooperative":
+		return core.SchemeCooperative, nil
+	case "hw", "hardware":
+		return core.SchemeHardware, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseIdiom(s string) (core.Idiom, error) {
+	switch s {
+	case "", "none":
+		return core.IdiomNone, nil
+	case "queue":
+		return core.IdiomQueue, nil
+	case "full":
+		return core.IdiomFull, nil
+	case "chain":
+		return core.IdiomChain, nil
+	case "root":
+		return core.IdiomRoot, nil
+	}
+	return 0, fmt.Errorf("unknown idiom %q", s)
+}
+
+func parseSize(s string) (olden.Size, error) {
+	switch s {
+	case "", "full":
+		return olden.SizeFull, nil
+	case "test":
+		return olden.SizeTest, nil
+	case "small":
+		return olden.SizeSmall, nil
+	case "large":
+		return olden.SizeLarge, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+// Normalize validates req against the workload and engine registries
+// and resolves it to canonical form.  The rules, in order:
+//
+//   - Bench must name a registered workload; Scheme/Idiom/Size must
+//     parse; a negative Interval, MemLatency or TimeoutMS is rejected.
+//   - Engine resolves to the scheme's default when empty; an explicit
+//     engine must exist in the prefetch registry.  An explicit engine
+//     equal to the scheme's default is the default (same key).
+//   - Idiom is only meaningful under the software and cooperative
+//     schemes; there, "" resolves to the benchmark's representative
+//     idiom.  Under every other scheme it normalizes to none.
+//   - CreationOnly likewise only exists for software idiom code and
+//     normalizes to false elsewhere.
+//   - Interval expresses lookahead distance; it is meaningful when
+//     software idiom code is emitted or an engine is attached (0
+//     resolves to the Table 2 default of 8) and normalizes to 0 when
+//     nothing consumes it.
+//   - Size "" resolves to full, MemLatency 0 to the Table 2 latency.
+func Normalize(req SpecRequest) (Canon, error) {
+	if req.Bench == "" {
+		return Canon{}, fmt.Errorf("missing bench (have %s)", strings.Join(olden.Names(), ", "))
+	}
+	bench, ok := olden.ByName(req.Bench)
+	if !ok {
+		return Canon{}, fmt.Errorf("unknown bench %q (have %s)", req.Bench, strings.Join(olden.Names(), ", "))
+	}
+	if req.Interval < 0 {
+		return Canon{}, fmt.Errorf("negative interval %d", req.Interval)
+	}
+	if req.MemLatency < 0 {
+		return Canon{}, fmt.Errorf("negative memlat %d", req.MemLatency)
+	}
+	if req.TimeoutMS < 0 {
+		return Canon{}, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
+	c := Canon{Bench: bench.Name}
+	var err error
+	if c.Scheme, err = parseScheme(req.Scheme); err != nil {
+		return Canon{}, err
+	}
+	if c.Idiom, err = parseIdiom(req.Idiom); err != nil {
+		return Canon{}, err
+	}
+	if c.Size, err = parseSize(req.Size); err != nil {
+		return Canon{}, err
+	}
+
+	c.Engine = req.Engine
+	if c.Engine == "" {
+		c.Engine = prefetch.DefaultFor(c.Scheme)
+	} else if !registered(c.Engine) {
+		return Canon{}, fmt.Errorf("unknown engine %q (have %s)", c.Engine, strings.Join(prefetch.Names(), ", "))
+	}
+
+	if c.Scheme.UsesSoftwareIdiom() {
+		if c.Idiom == core.IdiomNone {
+			c.Idiom = bench.DefaultIdiom()
+		}
+		c.CreationOnly = req.CreationOnly
+	} else {
+		// Kernels emit no idiom code for these schemes: the fields are
+		// inert and must not split the cache key.
+		c.Idiom = core.IdiomNone
+		c.CreationOnly = false
+	}
+
+	switch {
+	case c.Scheme.UsesSoftwareIdiom() || c.Engine != "":
+		c.Interval = req.Interval
+		if c.Interval == 0 {
+			c.Interval = core.DefaultInterval
+		}
+	default:
+		// No idiom code and no engine: nothing reads the interval.
+		c.Interval = 0
+	}
+
+	c.MemLatency = req.MemLatency
+	if c.MemLatency == 0 {
+		c.MemLatency = cache.Defaults().MemLatency
+	}
+	return c, nil
+}
+
+func registered(engine string) bool {
+	for _, n := range prefetch.Names() {
+		if n == engine {
+			return true
+		}
+	}
+	return false
+}
+
+// Key is the content address of a canonical spec's result: the SHA-256
+// of the canonical serialization, hex-encoded.  Simulations are
+// deterministic, so the key fully identifies the stats.Snapshot the
+// spec produces under the current simulator version.
+type Key string
+
+// keyHexLen is the length of a rendered Key (sha256 = 32 bytes).
+const keyHexLen = 2 * sha256.Size
+
+// canonical renders the fixed-field-order serialization the key hashes.
+// It includes the cache format version and the stats schema version, so
+// either kind of incompatible change invalidates every old entry.
+func (c Canon) canonical() string {
+	return fmt.Sprintf("cache%d|stats%d|bench=%s|scheme=%s|idiom=%s|engine=%s|interval=%d|size=%s|memlat=%d|creation=%t",
+		cacheFormatVersion, stats.SchemaVersion,
+		c.Bench, c.Scheme, c.Idiom, c.Engine, c.Interval, c.Size, c.MemLatency, c.CreationOnly)
+}
+
+// Key derives the content address.
+func (c Canon) Key() Key {
+	sum := sha256.Sum256([]byte(c.canonical()))
+	return Key(hex.EncodeToString(sum[:]))
+}
+
+// ParseKey validates an externally supplied key (a URL path element
+// that will become a cache-directory file name): exactly 64 lowercase
+// hex digits, nothing else, so no request can escape the cache dir.
+func ParseKey(s string) (Key, error) {
+	if len(s) != keyHexLen {
+		return "", fmt.Errorf("key must be %d hex digits, got %d", keyHexLen, len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return "", fmt.Errorf("key has non-hex byte %q at %d", ch, i)
+		}
+	}
+	return Key(s), nil
+}
+
+// Spec lowers the canonical form to the harness spec the pool executes.
+// The lowering preserves the exact default paths: overrides are only
+// materialized when they differ from the Table 2 machine.
+func (c Canon) Spec() harness.Spec {
+	spec := harness.Spec{
+		Bench:  c.Bench,
+		Engine: c.Engine,
+		Params: olden.Params{
+			Scheme:       c.Scheme,
+			Idiom:        c.Idiom,
+			Interval:     c.Interval,
+			Size:         c.Size,
+			CreationOnly: c.CreationOnly,
+		},
+	}
+	if def := cache.Defaults(); c.MemLatency != def.MemLatency {
+		m := def
+		m.MemLatency = c.MemLatency
+		spec.Mem = &m
+	}
+	return spec
+}
