@@ -22,8 +22,14 @@
 // (cycle attribution, prefetch coverage/accuracy/timeliness, cache
 // counters); pipe it to `jppreport -stats` for the attribution table.
 //
+// -sample switches to sampled simulation (detailed warmup + measured
+// intervals, functional fast-forward in between): architectural results
+// are exact, cycle counts are extrapolated estimates with error bars.
+// -sample-period/-sample-detail/-sample-warmup tune the unit geometry.
+//
 // -cpuprofile/-memprofile write pprof profiles of the simulator itself
-// (not the simulated machine); see EXPERIMENTS.md "Profiling the
+// (not the simulated machine); the two flags compose — with both set,
+// one run yields both profiles.  See EXPERIMENTS.md "Profiling the
 // simulator" for the workflow.
 package main
 
@@ -38,6 +44,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cpu"
 )
 
 func main() {
@@ -47,7 +54,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("jppsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -67,33 +74,35 @@ func run(args []string, out io.Writer) error {
 		vbench    = fs.String("vbench", "", "validation: comma-separated benchmark list (default all)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile of the simulator to this file")
+		sample    = fs.Bool("sample", false, "use sampled simulation (approximate cycles, exact architectural results)")
+		samPeriod = fs.Uint64("sample-period", 0, "sampling: unit length in instructions (0 = default)")
+		samDetail = fs.Uint64("sample-detail", 0, "sampling: measured detailed span per unit (0 = default)")
+		samWarmup = fs.Uint64("sample-warmup", 0, "sampling: detailed warmup span per unit (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
 		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return cerr
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
+		// Written on the way out so the profile sees the run's live
+		// heap; a failure here must surface in the exit code, so the
+		// deferred write feeds the named return (without masking an
+		// earlier error).
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "jppsim:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // report live allocations, not GC garbage
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "jppsim:", err)
+			werr := writeHeapProfile(*memProf)
+			if err == nil {
+				err = werr
 			}
 		}()
 	}
@@ -155,7 +164,13 @@ func run(args []string, out io.Writer) error {
 		Interval:   *interval,
 		MemLatency: *memlat,
 	}
-	var err error
+	if *sample || *samPeriod != 0 || *samDetail != 0 || *samWarmup != 0 {
+		cfg.Sampling = &cpu.SamplingConfig{
+			Period: *samPeriod,
+			Detail: *samDetail,
+			Warmup: *samWarmup,
+		}
+	}
 	if cfg.Scheme, err = parseScheme(*scheme); err != nil {
 		return err
 	}
@@ -194,6 +209,17 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeHeapProfile snapshots the live heap into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // report live allocations, not GC garbage
+	return pprof.WriteHeapProfile(f)
+}
+
 // printStatsJSON emits the run's versioned snapshot, validating it
 // first so a broken invariant can never slip out as plausible JSON.
 func printStatsJSON(out io.Writer, r repro.Result) error {
@@ -212,6 +238,10 @@ func printResult(out io.Writer, r repro.Result) {
 	fmt.Fprintf(out, "bench=%s scheme=%v size=%v\n", r.Spec.Bench, r.Spec.Params.Scheme, r.Spec.Params.Size)
 	if r.EngineName != "" {
 		fmt.Fprintf(out, "engine            %s\n", r.EngineName)
+	}
+	if sr := r.Stats.Sampling; sr != nil {
+		fmt.Fprintf(out, "sampled           %d intervals, %d measured + %d fast-forwarded insts, cycles in [%d, %d] (95%%)\n",
+			sr.Intervals, sr.MeasuredInsts, sr.FFInsts, sr.CyclesLo, sr.CyclesHi)
 	}
 	fmt.Fprintf(out, "cycles            %d\n", r.CPU.Cycles)
 	fmt.Fprintf(out, "instructions      %d (orig %d + prefetch overhead %d)\n",

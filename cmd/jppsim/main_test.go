@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -178,5 +180,64 @@ func TestRunValidateModeRejectsBadBench(t *testing.T) {
 	err := run([]string{"-validate", "-size", "test", "-vbench", "nosuch", "-vprograms", "-1"}, &out)
 	if err == nil {
 		t.Fatalf("unknown bench accepted:\n%s", out.String())
+	}
+}
+
+// TestRunBothProfiles: -cpuprofile and -memprofile compose — one run
+// writes both files, and each parses as a pprof profile (gzip magic).
+// A failing heap-profile write must surface as a run error, not be
+// swallowed by the deferred writer.
+func TestRunBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	heap := filepath.Join(dir, "heap.prof")
+	var out strings.Builder
+	if err := run([]string{"-bench", "mst", "-scheme", "dbp", "-size", "test",
+		"-cpuprofile", cpu, "-memprofile", heap}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Errorf("%s is not a gzipped pprof profile", p)
+		}
+	}
+	err := run([]string{"-bench", "mst", "-scheme", "dbp", "-size", "test",
+		"-memprofile", filepath.Join(dir, "no/such/dir/heap.prof")}, &out)
+	if err == nil {
+		t.Error("unwritable -memprofile path did not fail the run")
+	}
+}
+
+// TestRunSampledMode: -sample produces a valid sampled snapshot whose
+// instruction count matches the full-fidelity run of the same spec
+// (functional execution is complete either way).
+func TestRunSampledMode(t *testing.T) {
+	var full, sampled strings.Builder
+	if err := run([]string{"-bench", "mst", "-scheme", "dbp", "-size", "small", "-stats-json"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "mst", "-scheme", "dbp", "-size", "small", "-sample", "-stats-json"}, &sampled); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := stats.ParseSnapshots([]byte(full.String()))
+	if err != nil || len(fs) != 1 {
+		t.Fatalf("full snapshot unparseable: %v", err)
+	}
+	ss, err := stats.ParseSnapshots([]byte(sampled.String()))
+	if err != nil || len(ss) != 1 {
+		t.Fatalf("sampled snapshot unparseable: %v", err)
+	}
+	if err := ss[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !ss[0].Sampled || ss[0].Sampling == nil {
+		t.Fatal("-sample run not marked sampled")
+	}
+	if ss[0].Insts != fs[0].Insts {
+		t.Errorf("sampled instruction count %d != full %d", ss[0].Insts, fs[0].Insts)
 	}
 }

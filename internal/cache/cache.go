@@ -35,10 +35,14 @@ type line struct {
 	dirty bool
 }
 
-// cache is a set-associative, LRU, write-back tag array.
+// cache is a set-associative, LRU, write-back tag array.  The ways of
+// set s occupy lines[s*assoc : (s+1)*assoc] — a single flat backing
+// array, so a probe is one slice load plus arithmetic with no per-set
+// header table to allocate or chase.
 type cache struct {
 	geom      Geom
-	sets      [][]line
+	lines     []line
+	assoc     int
 	lineShift uint
 	setMask   uint32
 	tick      uint64
@@ -49,14 +53,10 @@ func newCache(g Geom) *cache {
 	if n == 0 || n&(n-1) != 0 {
 		panic("cache: set count must be a nonzero power of two")
 	}
-	sets := make([][]line, n)
-	backing := make([]line, n*g.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*g.Assoc : (i+1)*g.Assoc]
-	}
 	return &cache{
 		geom:      g,
-		sets:      sets,
+		lines:     make([]line, n*g.Assoc),
+		assoc:     g.Assoc,
 		lineShift: uint(bits.TrailingZeros(uint(g.LineBytes))),
 		setMask:   uint32(n - 1),
 	}
@@ -73,8 +73,9 @@ func (c *cache) index(addr uint32) (set uint32, tag uint32) {
 func (c *cache) lookup(addr uint32) bool {
 	c.tick++
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.ways(set)
+	for i := range ways {
+		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
 			ln.lru = c.tick
 			return true
@@ -83,11 +84,18 @@ func (c *cache) lookup(addr uint32) bool {
 	return false
 }
 
+// ways returns set's ways as a subslice of the flat backing array.
+func (c *cache) ways(set uint32) []line {
+	base := int(set) * c.assoc
+	return c.lines[base : base+c.assoc]
+}
+
 // probe checks presence without touching LRU or counters.
 func (c *cache) probe(addr uint32) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.ways(set)
+	for i := range ways {
+		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
 			return true
 		}
@@ -98,8 +106,9 @@ func (c *cache) probe(addr uint32) bool {
 // setDirty marks addr's line dirty if present.
 func (c *cache) setDirty(addr uint32) {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.ways(set)
+	for i := range ways {
+		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
 			ln.dirty = true
 			return
@@ -112,9 +121,10 @@ func (c *cache) setDirty(addr uint32) {
 func (c *cache) fill(addr uint32) (victimAddr uint32, victimDirty bool, hadVictim bool) {
 	c.tick++
 	set, tag := c.index(addr)
-	victim := &c.sets[set][0]
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.ways(set)
+	victim := &ways[0]
+	for i := range ways {
+		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
 			// Already present (raced fills merge).
 			ln.lru = c.tick
@@ -142,8 +152,9 @@ func (c *cache) fill(addr uint32) (victimAddr uint32, victimDirty bool, hadVicti
 // invalidate removes addr's line if present.
 func (c *cache) invalidate(addr uint32) {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.ways(set)
+	for i := range ways {
+		ln := &ways[i]
 		if ln.valid && ln.tag == tag {
 			ln.valid = false
 			return

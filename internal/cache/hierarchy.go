@@ -542,6 +542,65 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	return res
 }
 
+// WarmData functionally warms the hierarchy for one fast-forwarded
+// demand access (sampled simulation): TLB, L1D, prefetch buffer and L2
+// tag/replacement/dirty state evolve exactly as a demand access would
+// drive them, but no latency is computed and no bus, MSHR, counter or
+// prefetch-tracker state is touched — the measured intervals stay the
+// sole source of timing statistics.  The footprint bitmap is updated:
+// distinct-lines-touched is an architectural property of the executed
+// stream, fast-forwarded or not.
+func (h *Hierarchy) WarmData(addr uint32, store bool) {
+	if h.p.PerfectData {
+		return
+	}
+	h.markDistinct(h.l1d.lineAddr(addr))
+	h.dtlb.Warm(addr)
+	if h.l1d.lookup(addr) {
+		if store {
+			h.l1d.setDirty(addr)
+		}
+		return
+	}
+	if h.pb != nil && h.pb.lookup(addr) {
+		// A demand touch consumes the prefetched copy: install into L1,
+		// retire the PB line (the demand path's PB-hit transfer).
+		h.pb.invalidate(addr)
+		h.warmFillL1(addr, store)
+		return
+	}
+	if !h.l2.lookup(addr) {
+		h.l2.fill(addr)
+	}
+	h.warmFillL1(addr, store)
+}
+
+// warmFillL1 installs addr into the L1D during warming, preserving the
+// functional side of a victim writeback (L2 dirty marking) without the
+// bus charge.
+func (h *Hierarchy) warmFillL1(addr uint32, store bool) {
+	if victim, dirty, ok := h.l1d.fill(addr); ok && dirty {
+		if h.l2.probe(victim) {
+			h.l2.setDirty(victim)
+		}
+	}
+	if store {
+		h.l1d.setDirty(addr)
+	}
+}
+
+// WarmInst warms the instruction side for one fast-forwarded fetch.
+func (h *Hierarchy) WarmInst(pc uint32) {
+	h.itlb.Warm(pc)
+	if h.l1i.lookup(pc) {
+		return
+	}
+	if !h.l2.lookup(pc) {
+		h.l2.fill(pc)
+	}
+	h.l1i.fill(pc)
+}
+
 // PresentL1 reports whether addr's line is resident in the L1 data
 // cache or the prefetch buffer, without disturbing replacement state.
 // The hardware JPP engine uses it to make jump-pointer stores

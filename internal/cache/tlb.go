@@ -15,8 +15,23 @@ type TLB struct {
 	// case, and the fast path skips the associative scan.
 	lastIdx int
 
+	// hint is a hashed way predictor over the associative array: bucket
+	// hash(vpn) remembers which entry last held a page of that hash.
+	// Both fast paths verify the entry's tag before trusting it and
+	// fall back to the full scan, so the predictor only accelerates —
+	// hit/miss/victim behaviour is identical with it disabled.
+	hint [tlbHintBuckets]uint16
+
 	accesses uint64
 	misses   uint64
+}
+
+// tlbHintBuckets sizes the way-predictor hash table (power of two,
+// comfortably above the largest TLB in use).
+const tlbHintBuckets = 256
+
+func tlbHintHash(vpn uint32) uint32 {
+	return (vpn * 2654435761) >> 24 & (tlbHintBuckets - 1)
 }
 
 type tlbEntry struct {
@@ -38,39 +53,99 @@ func NewTLB(n int, pageBytes int, missLat int) *TLB {
 	}
 }
 
+// find locates vpn's entry: the previous-access and way-hint fast paths
+// first, then the associative scan.  It returns the entry index or -1,
+// and leaves the least-recently-used victim in *victim on a miss.
+func (t *TLB) find(vpn uint32, victim **tlbEntry) int {
+	if last := &t.entries[t.lastIdx]; last.valid && last.vpn == vpn {
+		return t.lastIdx
+	}
+	h := tlbHintHash(vpn)
+	if hi := int(t.hint[h]); hi < len(t.entries) {
+		if e := &t.entries[hi]; e.valid && e.vpn == vpn {
+			t.lastIdx = hi
+			return hi
+		}
+	}
+	v := &t.entries[0]
+	found := -1
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			t.lastIdx = i
+			t.hint[h] = uint16(i)
+			found = i
+			break
+		}
+		if !e.valid {
+			v = e
+		} else if v.valid && e.lru < v.lru {
+			v = e
+		}
+	}
+	if found >= 0 {
+		return found
+	}
+	*victim = v
+	return -1
+}
+
+// install fills victim with vpn and points the way hint at it.
+func (t *TLB) install(victim *tlbEntry, vpn uint32) {
+	victim.valid = true
+	victim.vpn = vpn
+	victim.lru = t.tick
+	idx := 0
+	for i := range t.entries {
+		if &t.entries[i] == victim {
+			idx = i
+			break
+		}
+	}
+	t.hint[tlbHintHash(vpn)] = uint16(idx)
+}
+
 // Access translates addr at cycle now.  It returns the cycle at which
 // the translation is available (now for a hit) and whether it missed.
 // On a miss the handler is reserved and the missing page installed.
+// The same-page-as-last-access case stays small enough to inline into
+// the hierarchy's access path.
 func (t *TLB) Access(now uint64, addr uint32) (ready uint64, miss bool) {
 	t.accesses++
 	t.tick++
 	vpn := addr >> t.pageShift
-	// Same page as the previous access: hit without scanning.  The LRU
-	// stamp is the same one the scan below would write.
 	if last := &t.entries[t.lastIdx]; last.valid && last.vpn == vpn {
 		last.lru = t.tick
 		return now, false
 	}
-	victim := &t.entries[0]
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.vpn == vpn {
-			e.lru = t.tick
-			t.lastIdx = i
-			return now, false
-		}
-		if !e.valid {
-			victim = e
-		} else if victim.valid && e.lru < victim.lru {
-			victim = e
-		}
+	return t.accessSlow(now, vpn)
+}
+
+func (t *TLB) accessSlow(now uint64, vpn uint32) (ready uint64, miss bool) {
+	var victim *tlbEntry
+	if i := t.find(vpn, &victim); i >= 0 {
+		t.entries[i].lru = t.tick
+		return now, false
 	}
 	t.misses++
-	ready = now + t.missLat
-	victim.valid = true
-	victim.vpn = vpn
-	victim.lru = t.tick
-	return ready, true
+	t.install(victim, vpn)
+	return now + t.missLat, true
+}
+
+// Warm installs addr's translation and refreshes its recency exactly
+// like Access, but charges no latency and leaves the access/miss
+// counters untouched.  Sampled simulation uses it to keep TLB contents
+// hot across functionally fast-forwarded spans without polluting the
+// measured-interval statistics.
+func (t *TLB) Warm(addr uint32) {
+	t.tick++
+	vpn := addr >> t.pageShift
+	var victim *tlbEntry
+	if i := t.find(vpn, &victim); i >= 0 {
+		t.entries[i].lru = t.tick
+		return
+	}
+	t.install(victim, vpn)
 }
 
 // Stats reports accesses and misses.

@@ -99,6 +99,12 @@ type Config struct {
 	// Tracer, when non-nil, receives per-instruction pipeline events
 	// (used by cmd/jpptrace and tests; nil costs nothing).
 	Tracer Tracer
+
+	// Sampling, when non-nil, switches Run to SMARTS-style sampled
+	// simulation (see SamplingConfig): detailed timing on periodic
+	// intervals, functional fast-forward between them, cycle counts
+	// extrapolated with error bars.  Full-fidelity runs leave it nil.
+	Sampling *SamplingConfig
 }
 
 // Fault selects a deliberately injected commit-stage bug, used as a
@@ -176,6 +182,10 @@ type Stats struct {
 
 	FetchStallCycles uint64
 	Truncated        bool
+
+	// Sample is non-nil only for sampled runs (Config.Sampling set) and
+	// carries the measurement/extrapolation breakdown and error bars.
+	Sample *SampleStats
 
 	// Attribution charges every simulated cycle to exactly one
 	// category, judged at the commit stage; its Total() equals Cycles.
@@ -279,8 +289,12 @@ type Core struct {
 	// outstanding demand-miss completion times (parallelism metric).
 	missDone []uint64
 
-	// pending load completions for engine callbacks.
-	loadDone []loadEvent
+	// pending load completions for engine callbacks.  loadDoneMin
+	// caches the earliest due time across loadDone (^uint64(0) when
+	// empty, exact otherwise) so the per-cycle delivery pass and
+	// nextEventAt touch the queue only when an event is actually due.
+	loadDone    []loadEvent
+	loadDoneMin uint64
 	// scratch rebuilds the reduced DynInst handed to OnLoadComplete.
 	scratch ir.DynInst
 
@@ -318,26 +332,38 @@ func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor, eng PrefetchE
 	if storeCap < 1 {
 		storeCap = 1
 	}
+	// Ring capacities round up to powers of two so every wrap is a mask
+	// instead of a division; logical occupancy is still bounded by
+	// WindowSize / LSQSize.
+	robCap := 1
+	for robCap < cfg.WindowSize {
+		robCap <<= 1
+	}
+	sqCap := 1
+	for sqCap < storeCap {
+		sqCap <<= 1
+	}
 	c := &Core{
 		cfg:    cfg,
 		hier:   hier,
 		pred:   pred,
 		eng:    eng,
-		rob:    make([]robEntry, cfg.WindowSize),
+		rob:    make([]robEntry, robCap),
 		ring:   make([]uint64, ringSize),
-		storeQ: make([]storeRef, storeCap),
+		storeQ: make([]storeRef, sqCap),
 		// Pre-size the event queues so the steady state never grows
 		// them: outstanding misses and pending load callbacks are both
 		// bounded by the window (compaction reuses this backing store).
 		missDone:      make([]uint64, 0, cfg.WindowSize),
 		loadDone:      make([]loadEvent, 0, cfg.WindowSize),
+		loadDoneMin:   ^uint64(0),
 		headSeq:       1,
 		nextSeq:       1,
 		firstUnissued: 1,
-		useMasks:      cfg.WindowSize <= 64,
+		useMasks:      robCap <= 64,
 	}
 	if c.useMasks {
-		c.waiters = make([]uint64, cfg.WindowSize)
+		c.waiters = make([]uint64, robCap)
 	}
 	for i := range c.ring {
 		c.ring[i] = ^uint64(0)
@@ -364,73 +390,18 @@ func (c *Core) srcReadyAt(src uint64) (at uint64, known bool) {
 }
 
 // Run simulates the stream to completion and returns the statistics.
+// When cfg.Sampling is set it delegates to the sampled-simulation loop
+// (see sample.go); the full-fidelity path below is unchanged by it.
 func (c *Core) Run(gen *ir.Gen) Stats {
-	cw := c.cfg.CommitWidth
+	if c.cfg.Sampling != nil {
+		return c.runSampled(gen)
+	}
 	for {
 		// ---- commit ----
-		committed := 0
-		for n := 0; n < cw && c.count > 0; n++ {
-			e := &c.rob[c.head]
-			if !e.issued || e.doneAt > c.now {
-				break
-			}
-			dropped := false
-			if c.cfg.InjectFault != FaultNone && !c.faultFired && e.d.Seq >= c.cfg.FaultAfter {
-				switch c.cfg.InjectFault {
-				case FaultDropCommit:
-					c.faultFired = true
-					dropped = true
-				case FaultCorruptLoadValue:
-					if e.d.Class == ir.Load {
-						c.faultFired = true
-						e.d.Value ^= 1
-					}
-				}
-			}
-			if !dropped {
-				if c.eng != nil {
-					c.eng.OnCommit(c.now, &e.d)
-				}
-				if c.cfg.Tracer != nil {
-					c.cfg.Tracer.Trace(&e.d, e.dispatchedAt, e.issuedAt, e.doneAt)
-				}
-				c.s.CommitByCl[e.d.Class]++
-				c.s.Insts++
-			}
-			if e.isMem {
-				c.lsqUsed--
-				if e.d.Class == ir.Store {
-					c.storeHead = (c.storeHead + 1) % len(c.storeQ)
-					c.storeCount--
-				}
-			}
-			c.head = (c.head + 1) % len(c.rob)
-			c.count--
-			c.headSeq++
-			committed++
-		}
+		committed := c.commitStage()
 
 		// ---- deliver load completions to the engine ----
-		delivered := 0
-		if c.eng != nil && len(c.loadDone) > 0 {
-			kept := c.loadDone[:0]
-			for i := range c.loadDone {
-				ev := &c.loadDone[i]
-				if ev.at <= c.now {
-					c.scratch = ir.DynInst{
-						Class: ir.Load,
-						PC:    ev.pc,
-						Value: ev.value,
-						Flags: ev.flags,
-					}
-					c.eng.OnLoadComplete(c.now, &c.scratch)
-					delivered++
-				} else {
-					kept = append(kept, *ev)
-				}
-			}
-			c.loadDone = kept
-		}
+		delivered := c.deliverLoads()
 
 		// ---- issue ----
 		seqBefore := c.nextSeq
@@ -474,7 +445,7 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 		// skipped cycles in bulk; see nextEventAt for the invariants.
 		if committed == 0 && issued == 0 && delivered == 0 &&
 			c.nextSeq == seqBefore && !c.cfg.DisableCycleSkip {
-			next := c.nextEventAt(nextIssue)
+			next := c.nextEventAt(nextIssue, true)
 			if c.cfg.MaxCycles > 0 && next > c.cfg.MaxCycles {
 				next = c.cfg.MaxCycles
 			}
@@ -515,6 +486,54 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 	return c.s
 }
 
+// commitStage retires up to CommitWidth completed instructions from the
+// window head, firing engine/tracer callbacks and applying any
+// configured fault injection.
+func (c *Core) commitStage() int {
+	committed := 0
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.issued || e.doneAt > c.now {
+			break
+		}
+		dropped := false
+		if c.cfg.InjectFault != FaultNone && !c.faultFired && e.d.Seq >= c.cfg.FaultAfter {
+			switch c.cfg.InjectFault {
+			case FaultDropCommit:
+				c.faultFired = true
+				dropped = true
+			case FaultCorruptLoadValue:
+				if e.d.Class == ir.Load {
+					c.faultFired = true
+					e.d.Value ^= 1
+				}
+			}
+		}
+		if !dropped {
+			if c.eng != nil {
+				c.eng.OnCommit(c.now, &e.d)
+			}
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Trace(&e.d, e.dispatchedAt, e.issuedAt, e.doneAt)
+			}
+			c.s.CommitByCl[e.d.Class]++
+			c.s.Insts++
+		}
+		if e.isMem {
+			c.lsqUsed--
+			if e.d.Class == ir.Store {
+				c.storeHead = (c.storeHead + 1) & (len(c.storeQ) - 1)
+				c.storeCount--
+			}
+		}
+		c.head = (c.head + 1) & (len(c.rob) - 1)
+		c.count--
+		c.headSeq++
+		committed++
+	}
+	return committed
+}
+
 // nextEventAt computes the earliest cycle >= c.now at which the frozen
 // pipeline can change state, given that the cycle just simulated was
 // completely quiescent.  Candidate events:
@@ -533,19 +552,21 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 // at an instruction with known-ready operands).  A mispredict-frozen
 // front end (blockSeq != 0) wakes only when the branch issues, which is
 // likewise covered.
-func (c *Core) nextEventAt(nextIssue uint64) uint64 {
+//
+// With fetchActive false (a sampled run's drain, where the front end is
+// frozen by construction rather than by a stall) fetch contributes no
+// candidate.
+func (c *Core) nextEventAt(nextIssue uint64, fetchActive bool) uint64 {
 	next := nextIssue
 	if c.count > 0 {
 		if e := &c.rob[c.head]; e.issued && e.doneAt < next {
 			next = e.doneAt
 		}
 	}
-	for i := range c.loadDone {
-		if at := c.loadDone[i].at; at < next {
-			next = at
-		}
+	if c.loadDoneMin < next {
+		next = c.loadDoneMin
 	}
-	if c.blockSeq == 0 && c.count < len(c.rob) {
+	if fetchActive && c.blockSeq == 0 && c.count < c.cfg.WindowSize {
 		// Fetch acts once fetchReadyAt passes — unless it would only
 		// re-stage a full-LSQ memory op (freed by commit, which is
 		// covered above) or poll an exhausted generator to no effect.
@@ -601,7 +622,7 @@ func (c *Core) classifyCycle(committed int) stats.Category {
 		}
 		return stats.CatOther
 	}
-	if c.count >= len(c.rob) {
+	if c.count >= c.cfg.WindowSize {
 		return stats.CatWindowFull
 	}
 	return stats.CatOther
@@ -631,7 +652,7 @@ func (c *Core) srcState(src uint64) (at uint64, known bool, slot int) {
 	}
 	t := c.ring[src&uint64(len(c.ring)-1)]
 	if t == ^uint64(0) {
-		return 0, false, (c.head + int(src-c.headSeq)) % len(c.rob)
+		return 0, false, (c.head + int(src-c.headSeq)) & (len(c.rob) - 1)
 	}
 	return t, true, -1
 }
@@ -828,7 +849,7 @@ func (c *Core) issueScan() (memUsed, issued int, nextIssue uint64) {
 	prefix := true // entries scanned so far were all issued
 
 	for k := start; k < c.count && issued < c.cfg.IssueWidth; k++ {
-		idx := (c.head + k) % len(c.rob)
+		idx := (c.head + k) & (len(c.rob) - 1)
 		e := &c.rob[idx]
 		if e.issued {
 			if prefix {
@@ -952,7 +973,7 @@ func (c *Core) issueLoad(idx int) {
 	// the same word supplies the value through the 1-cycle bypass.  The
 	// store FIFO holds exactly the in-window stores in program order.
 	for k := 0; k < c.storeCount; k++ {
-		o := &c.storeQ[(c.storeHead+k)%len(c.storeQ)]
+		o := &c.storeQ[(c.storeHead+k)&(len(c.storeQ)-1)]
 		if o.seq >= d.Seq {
 			break
 		}
@@ -1002,6 +1023,9 @@ func (c *Core) issueLoad(idx int) {
 
 func (c *Core) finishLoad(e *robEntry) {
 	if c.eng != nil {
+		if e.doneAt < c.loadDoneMin {
+			c.loadDoneMin = e.doneAt
+		}
 		c.loadDone = append(c.loadDone, loadEvent{
 			at:    e.doneAt,
 			pc:    e.d.PC,
@@ -1009,6 +1033,40 @@ func (c *Core) finishLoad(e *robEntry) {
 			flags: e.d.Flags,
 		})
 	}
+}
+
+// deliverLoads fires every due OnLoadComplete callback, compacting the
+// queue in place and refreshing the cached minimum.  Cycles with
+// nothing due (the common case, tracked exactly by loadDoneMin) skip
+// the scan entirely.
+func (c *Core) deliverLoads() int {
+	if c.eng == nil || c.loadDoneMin > c.now {
+		return 0
+	}
+	delivered := 0
+	kept := c.loadDone[:0]
+	kmin := ^uint64(0)
+	for i := range c.loadDone {
+		ev := &c.loadDone[i]
+		if ev.at <= c.now {
+			c.scratch = ir.DynInst{
+				Class: ir.Load,
+				PC:    ev.pc,
+				Value: ev.value,
+				Flags: ev.flags,
+			}
+			c.eng.OnLoadComplete(c.now, &c.scratch)
+			delivered++
+		} else {
+			if ev.at < kmin {
+				kmin = ev.at
+			}
+			kept = append(kept, *ev)
+		}
+	}
+	c.loadDone = kept
+	c.loadDoneMin = kmin
+	return delivered
 }
 
 // fetchDispatch brings up to FetchWidth instructions into the window.
@@ -1019,7 +1077,7 @@ func (c *Core) fetchDispatch(gen *ir.Gen) bool {
 		return false
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if c.count >= len(c.rob) {
+		if c.count >= c.cfg.WindowSize {
 			return false
 		}
 		d := c.fetched
@@ -1049,7 +1107,7 @@ func (c *Core) fetchDispatch(gen *ir.Gen) bool {
 		c.fetched = nil
 
 		// Dispatch into the window.
-		tail := (c.head + c.count) % len(c.rob)
+		tail := (c.head + c.count) & (len(c.rob) - 1)
 		c.rob[tail] = robEntry{d: *d, isMem: isMem, dispatchedAt: c.now}
 		c.ring[d.Seq&uint64(len(c.ring)-1)] = ^uint64(0)
 		c.count++
@@ -1057,7 +1115,7 @@ func (c *Core) fetchDispatch(gen *ir.Gen) bool {
 		if isMem {
 			c.lsqUsed++
 			if d.Class == ir.Store {
-				c.storeQ[(c.storeHead+c.storeCount)%len(c.storeQ)] = storeRef{seq: d.Seq, addr: d.Addr}
+				c.storeQ[(c.storeHead+c.storeCount)&(len(c.storeQ)-1)] = storeRef{seq: d.Seq, addr: d.Addr}
 				c.storeCount++
 				c.unissuedStores++
 			}

@@ -79,7 +79,20 @@ type Engine struct {
 	jumpPPW *PPW
 	dp      *DepPredictor
 
-	prq     []prqReq
+	// lineMask is the hierarchy's cache-line mask, cached at
+	// construction (LineBytes never changes after cache.New) so the
+	// per-request dedup path does not re-derive it.
+	lineMask uint32
+
+	// prq is a fixed-capacity FIFO ring (cap PRQEntries): prqHead is
+	// the index of the oldest request and prqLen the occupancy.  A ring
+	// replaces the slice shift that used to copy the whole queue on
+	// every issued prefetch.
+	prq     []prqReq // len is cfg.PRQEntries rounded up to a power of two
+	prqMask int
+	prqHead int
+	prqLen  int
+
 	pending []arrival
 	// pendingMin caches the minimum done time across pending (exact;
 	// ^uint64(0) when pending is empty), so the per-cycle Tick and the
@@ -99,8 +112,11 @@ type prqReq struct {
 	origin Origin
 	// conts are piggybacked continuations: requests for the same line
 	// whose (addr, pc) differ, so the chase can branch correctly once
-	// the line arrives without issuing duplicate memory requests.
-	conts []cont
+	// the line arrives without issuing duplicate memory requests.  A
+	// fixed inline array (bounded at 3 by EnqueuePrefetch) keeps the
+	// hot enqueue/issue path allocation-free.
+	conts  [3]cont
+	nconts uint8
 }
 
 type cont struct {
@@ -122,16 +138,30 @@ type arrival struct {
 
 // NewEngine builds a DBP engine over the given hierarchy and heap.
 func NewEngine(cfg Config, hier *cache.Hierarchy, alloc *heap.Allocator) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		hier:       hier,
 		img:        alloc.Image(),
 		heap:       alloc,
+		lineMask:   ^uint32(hier.LineBytes() - 1),
 		ppw:        NewPPW(cfg.PPWEntries),
 		jumpPPW:    NewPPW(cfg.PPWEntries * 2),
 		dp:         NewDepPredictor(cfg.DPEntries, cfg.DPAssoc),
+		prq:        make([]prqReq, ceilPow2(cfg.PRQEntries)),
 		pendingMin: ^uint64(0),
 	}
+	e.prqMask = len(e.prq) - 1
+	return e
+}
+
+// ceilPow2 rounds n up to a power of two so the PRQ ring can index
+// with a mask instead of a modulo.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // DP exposes the dependence predictor (the hardware JPP engine inspects
@@ -204,17 +234,18 @@ func (e *Engine) EnqueuePrefetch(addr, pc uint32, depth int, origin Origin) {
 	if depth > e.cfg.MaxChainDepth {
 		return
 	}
-	mask := ^uint32(e.hier.LineBytes() - 1)
+	mask := e.lineMask
 	line := addr & mask
-	for i := range e.prq {
-		r := &e.prq[i]
+	for i := 0; i < e.prqLen; i++ {
+		r := &e.prq[(e.prqHead+i)&e.prqMask]
 		if r.addr&mask != line {
 			continue
 		}
 		e.s.DedupDrops++
 		e.s.DedupByOrigin[origin]++
-		if (r.pc != pc || r.addr != addr) && len(r.conts) < 3 {
-			r.conts = append(r.conts, cont{addr: addr, pc: pc, depth: depth})
+		if (r.pc != pc || r.addr != addr) && int(r.nconts) < len(r.conts) {
+			r.conts[r.nconts] = cont{addr: addr, pc: pc, depth: depth}
+			r.nconts++
 		}
 		return
 	}
@@ -232,11 +263,12 @@ func (e *Engine) EnqueuePrefetch(addr, pc uint32, depth int, origin Origin) {
 		}
 		return
 	}
-	if len(e.prq) >= e.cfg.PRQEntries {
+	if e.prqLen >= e.cfg.PRQEntries {
 		e.s.PRQDrops++
 		return
 	}
-	e.prq = append(e.prq, prqReq{addr: addr, pc: pc, depth: depth, origin: origin})
+	e.prq[(e.prqHead+e.prqLen)&e.prqMask] = prqReq{addr: addr, pc: pc, depth: depth, origin: origin}
+	e.prqLen++
 	e.s.Requested++
 }
 
@@ -286,7 +318,7 @@ func (e *Engine) OnSWPrefetch(now uint64, d *ir.DynInst, done uint64) {
 // pending-prefetch completion.  ^uint64(0) means the engine is idle
 // until the core feeds it again.
 func (e *Engine) NextEventAt(now uint64) uint64 {
-	if len(e.prq) > 0 {
+	if e.prqLen > 0 {
 		return now + 1
 	}
 	if e.pendingMin <= now {
@@ -304,7 +336,7 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 	// Skip the compaction pass entirely on the (common) cycles where no
 	// arrival is due yet — the loop below would keep every entry.
 	if now < e.pendingMin {
-		if len(e.prq) == 0 {
+		if e.prqLen == 0 {
 			return 0
 		}
 		return e.issuePRQ(now, freePorts)
@@ -351,10 +383,10 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 // issuePRQ drains queued prefetch requests into idle cache ports.
 func (e *Engine) issuePRQ(now uint64, freePorts int) int {
 	used := 0
-	for used < freePorts && len(e.prq) > 0 {
-		r := e.prq[0]
-		copy(e.prq, e.prq[1:])
-		e.prq = e.prq[:len(e.prq)-1]
+	for used < freePorts && e.prqLen > 0 {
+		r := e.prq[e.prqHead]
+		e.prqHead = (e.prqHead + 1) & e.prqMask
+		e.prqLen--
 		res := e.hier.AccessData(now, r.addr, cache.KPref)
 		used++
 		if res.Dropped {
@@ -370,7 +402,7 @@ func (e *Engine) issuePRQ(now uint64, freePorts int) int {
 		e.addPending(arrival{
 			done: res.Done, addr: r.addr, pc: r.pc, depth: r.depth,
 		})
-		for _, c := range r.conts {
+		for _, c := range r.conts[:r.nconts] {
 			e.addPending(arrival{
 				done: res.Done, addr: c.addr, pc: c.pc, depth: c.depth,
 			})

@@ -173,8 +173,8 @@ func TestPRQCapacity(t *testing.T) {
 	if s := r.eng.Stats(); s.PRQDrops == 0 {
 		t.Fatal("PRQ accepted more requests than its capacity")
 	}
-	if len(r.eng.prq) > Defaults().PRQEntries {
-		t.Fatalf("PRQ holds %d entries", len(r.eng.prq))
+	if r.eng.prqLen > Defaults().PRQEntries {
+		t.Fatalf("PRQ holds %d entries", r.eng.prqLen)
 	}
 }
 
@@ -184,10 +184,10 @@ func TestPiggybackContinuation(t *testing.T) {
 	// request, both continuations.
 	r.eng.EnqueuePrefetch(r.nodes[0], pcNext, 0, OChase)
 	r.eng.EnqueuePrefetch(r.nodes[0]+4, pcVal, 0, OChase)
-	if got := len(r.eng.prq); got != 1 {
+	if got := r.eng.prqLen; got != 1 {
 		t.Fatalf("PRQ holds %d entries, want 1 (piggybacked)", got)
 	}
-	if len(r.eng.prq[0].conts) != 1 {
+	if int(r.eng.prq[r.eng.prqHead].nconts) != 1 {
 		t.Fatalf("continuation not recorded")
 	}
 	r.eng.Tick(1, 2)

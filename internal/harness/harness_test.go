@@ -77,7 +77,8 @@ func TestDecomposeInvariants(t *testing.T) {
 }
 
 func TestExperimentsRunAtTestSize(t *testing.T) {
-	cfg := ExpConfig{Size: olden.SizeTest, Benches: []string{"health", "treeadd"}}
+	cfg := ExpConfig{Size: olden.SizeTest, Benches: []string{"health", "treeadd"},
+		BenchJSON: testBenchDoc(t)}
 	for _, e := range Experiments() {
 		rep, err := e.Fn(cfg)
 		if err != nil {

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testBenchDoc writes a minimal benchmark document for tests that run
+// every experiment (the mips driver needs one on disk).
+func testBenchDoc(t *testing.T) string {
+	t.Helper()
+	doc := `{"sim_mips": {"mst": {"none": 4.0}}, "sim_mips_geomean": 4.0}`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMipsExperiment renders the throughput table from a synthetic
+// benchmark document and checks the per-kernel vs-seed multiples and
+// the large-input rows (which have no seed reference) come out right.
+func TestMipsExperiment(t *testing.T) {
+	doc := `{
+		"sim_mips": {
+			"mst": {"none": 4.0, "coop": 4.0},
+			"mst@large": {"none": 3.0}
+		},
+		"sim_mips_geomean": 3.7
+	}`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Mips(ExpConfig{BenchJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mst geomean 4.00, seed 1.69 -> 2.37x; @large row has no seed.
+	for _, want := range []string{"2.37x", "mst@large", "vs-seed", "seed geomean 2.86"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, rep.Text)
+		}
+	}
+	if _, err := Mips(ExpConfig{BenchJSON: filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing document did not error")
+	}
+}

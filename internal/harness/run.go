@@ -52,6 +52,14 @@ type Spec struct {
 	CPU *cpu.Config
 	DBP *dbp.Config
 	HW  *core.HWConfig
+
+	// Sampling switches the run to sampled simulation (detailed timing
+	// on periodic intervals, functional fast-forward between them; see
+	// cpu.SamplingConfig).  Cycle counts become extrapolations with
+	// error bars and the snapshot is flagged Sampled; architectural
+	// digests stay bit-identical to a full run.  Nil (the default) is
+	// full fidelity.
+	Sampling *cpu.SamplingConfig
 }
 
 // Result collects every statistic a run produces.
@@ -145,6 +153,11 @@ func Run(spec Spec) (Result, error) {
 		}
 	}
 
+	if spec.Sampling != nil {
+		sc := *spec.Sampling
+		cpuC.Sampling = &sc
+	}
+
 	gen := ir.NewGen(alloc, kernel)
 	c := cpu.New(cpuC, hier, pred, eng)
 	cpuStats := c.Run(gen)
@@ -194,6 +207,19 @@ func buildSnapshot(r *Result) stats.Snapshot {
 		issued, dropped := rq.CacheRequests()
 		rep.EngineIssued = issued + dropped
 	}
+	var samRep *stats.SamplingReport
+	if sam := r.CPU.Sample; sam != nil {
+		samRep = &stats.SamplingReport{
+			Intervals:      sam.Intervals,
+			MeasuredInsts:  sam.MeasuredInsts,
+			MeasuredCycles: sam.MeasuredCycles,
+			FFInsts:        sam.FFInsts,
+			CPIMean:        sam.CPIMean,
+			CPIStdErr:      sam.CPIStdErr,
+			CyclesLo:       sam.CyclesLo,
+			CyclesHi:       sam.CyclesHi,
+		}
+	}
 	return stats.Snapshot{
 		Version:          stats.SchemaVersion,
 		Bench:            r.Spec.Bench,
@@ -206,6 +232,8 @@ func buildSnapshot(r *Result) stats.Snapshot {
 		Insts:            r.CPU.Insts,
 		IPC:              r.CPU.IPC(),
 		Truncated:        r.CPU.Truncated,
+		Sampled:          samRep != nil,
+		Sampling:         samRep,
 		CyclesByCategory: r.CPU.Attribution,
 		Prefetch:         rep,
 		Cache: stats.CacheReport{

@@ -293,9 +293,10 @@ func TestParallelSerialIdenticalReports(t *testing.T) {
 	if parallel < 2 {
 		parallel = 4
 	}
+	benchDoc := testBenchDoc(t)
 	for _, e := range Experiments() {
-		serialCfg := ExpConfig{Size: olden.SizeTest, Workers: 1}
-		parallelCfg := ExpConfig{Size: olden.SizeTest, Workers: parallel}
+		serialCfg := ExpConfig{Size: olden.SizeTest, Workers: 1, BenchJSON: benchDoc}
+		parallelCfg := ExpConfig{Size: olden.SizeTest, Workers: parallel, BenchJSON: benchDoc}
 		serial, err := e.Fn(serialCfg)
 		if err != nil {
 			t.Fatalf("%s serial: %v", e.ID, err)

@@ -12,7 +12,7 @@ package heap
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -51,9 +51,15 @@ type Allocator struct {
 	limit  mem.Addr
 	arenas []*arena
 
-	// sizes records the class of every live block so PaddingAddr and
-	// Free can validate their arguments.
-	sizes map[mem.Addr]blockInfo
+	// meta records the class of every live block so PaddingAddr and
+	// Free can validate their arguments.  It is a paged array indexed
+	// by heap offset in MinClass granules (every block start is
+	// class-aligned, hence granule-aligned): a metadata probe is two
+	// indexed loads instead of a map probe, which matters because the
+	// prefetch engines interrogate block geometry on every chase.
+	// Pages materialize as the bump pointer advances, so the table's
+	// size tracks the heap actually used, not the address space.
+	meta []*metaPage
 
 	// Stats.
 	allocs     int
@@ -62,16 +68,24 @@ type Allocator struct {
 	totalBytes int
 }
 
+// metaPageSlots is the number of block-metadata slots per page; one
+// page covers metaPageSlots*MinClass = 64 KiB of heap address space.
+const metaPageSlots = 1 << 13
+
+type metaPage [metaPageSlots]blockInfo
+
 type arena struct {
 	next mem.Addr
 	end  mem.Addr
-	free map[uint32][]mem.Addr // size class -> freed block addresses
+	// free holds per-class free lists, indexed by log2(class); classes
+	// are powers of two, so the index is exact.
+	free [32][]mem.Addr
 }
 
 type blockInfo struct {
-	class   uint32 // block size in bytes (power of two)
+	class   uint32 // block size in bytes (power of two); 0 = no block
 	payload uint32 // requested size in bytes
-	arena   ArenaID
+	arena   int32
 }
 
 // New returns an allocator that places blocks into img starting at Base.
@@ -80,15 +94,45 @@ func New(img *mem.Image) *Allocator {
 		img:    img,
 		next:   Base,
 		limit:  0xF000_0000,
-		arenas: []*arena{{free: make(map[uint32][]mem.Addr)}},
-		sizes:  make(map[mem.Addr]blockInfo),
+		arenas: []*arena{{}},
 	}
 }
 
 // NewArena creates an allocation arena (a locality domain).
 func (a *Allocator) NewArena() ArenaID {
-	a.arenas = append(a.arenas, &arena{free: make(map[uint32][]mem.Addr)})
+	a.arenas = append(a.arenas, &arena{})
 	return ArenaID(len(a.arenas) - 1)
+}
+
+// info returns the metadata slot for a live block starting at addr, or
+// nil if addr is not a live block start.
+func (a *Allocator) info(addr mem.Addr) *blockInfo {
+	if addr < Base || addr&(MinClass-1) != 0 {
+		return nil
+	}
+	slot := (addr - Base) / MinClass
+	pi := int(slot / metaPageSlots)
+	if pi >= len(a.meta) || a.meta[pi] == nil {
+		return nil
+	}
+	bi := &a.meta[pi][slot%metaPageSlots]
+	if bi.class == 0 {
+		return nil
+	}
+	return bi
+}
+
+// metaSlot returns addr's metadata slot, materializing its page.
+func (a *Allocator) metaSlot(addr mem.Addr) *blockInfo {
+	slot := (addr - Base) / MinClass
+	pi := int(slot / metaPageSlots)
+	for pi >= len(a.meta) {
+		a.meta = append(a.meta, nil)
+	}
+	if a.meta[pi] == nil {
+		a.meta[pi] = new(metaPage)
+	}
+	return &a.meta[pi][slot%metaPageSlots]
 }
 
 // SizeClass returns the power-of-two block size used for a payload of n
@@ -116,10 +160,11 @@ func (a *Allocator) AllocIn(id ArenaID, n uint32) mem.Addr {
 	}
 	ar := a.arenas[id]
 	class := SizeClass(n)
+	cidx := bits.Len32(class) - 1
 	var addr mem.Addr
-	if fl := ar.free[class]; len(fl) > 0 {
+	if fl := ar.free[cidx]; len(fl) > 0 {
 		addr = fl[len(fl)-1]
-		ar.free[class] = fl[:len(fl)-1]
+		ar.free[cidx] = fl[:len(fl)-1]
 	} else {
 		// Align the bump pointer to the class size so blocks never
 		// straddle larger power-of-two boundaries gratuitously.
@@ -147,7 +192,7 @@ func (a *Allocator) AllocIn(id ArenaID, n uint32) mem.Addr {
 	for off := uint32(0); off < class; off += mem.WordBytes {
 		a.img.WriteWord(addr+mem.Addr(off), 0)
 	}
-	a.sizes[addr] = blockInfo{class: class, payload: n, arena: id}
+	*a.metaSlot(addr) = blockInfo{class: class, payload: n, arena: int32(id)}
 	a.allocs++
 	a.liveBytes += int(class)
 	return addr
@@ -155,27 +200,34 @@ func (a *Allocator) AllocIn(id ArenaID, n uint32) mem.Addr {
 
 // Free returns the block at addr to its arena's size-class free list.
 func (a *Allocator) Free(addr mem.Addr) {
-	info, ok := a.sizes[addr]
-	if !ok {
+	bi := a.info(addr)
+	if bi == nil {
 		panic(fmt.Sprintf("heap: free of unallocated address %#x", addr))
 	}
-	delete(a.sizes, addr)
-	ar := a.arenas[info.arena]
-	ar.free[info.class] = append(ar.free[info.class], addr)
+	ar := a.arenas[bi.arena]
+	cidx := bits.Len32(bi.class) - 1
+	ar.free[cidx] = append(ar.free[cidx], addr)
 	a.frees++
-	a.liveBytes -= int(info.class)
+	a.liveBytes -= int(bi.class)
+	*bi = blockInfo{}
 }
 
 // BlockSize returns the block (class) size in bytes of the live block at
 // addr, or 0 if addr is not a live block start.
 func (a *Allocator) BlockSize(addr mem.Addr) uint32 {
-	return a.sizes[addr].class
+	if bi := a.info(addr); bi != nil {
+		return bi.class
+	}
+	return 0
 }
 
 // PayloadSize returns the requested payload size of the live block at
 // addr, or 0 if addr is not a live block start.
 func (a *Allocator) PayloadSize(addr mem.Addr) uint32 {
-	return a.sizes[addr].payload
+	if bi := a.info(addr); bi != nil {
+		return bi.payload
+	}
+	return 0
 }
 
 // PaddingWords reports how many whole words of padding the block at addr
@@ -183,12 +235,12 @@ func (a *Allocator) PayloadSize(addr mem.Addr) uint32 {
 // block and no jump-pointer storage is available (paper §3.3: "if the
 // size is exactly a power of two ... the unvaried load is used").
 func (a *Allocator) PaddingWords(addr mem.Addr) uint32 {
-	info, ok := a.sizes[addr]
-	if !ok {
+	bi := a.info(addr)
+	if bi == nil {
 		return 0
 	}
-	payloadWords := (info.payload + mem.WordBytes - 1) / mem.WordBytes
-	return info.class/mem.WordBytes - payloadWords
+	payloadWords := (bi.payload + mem.WordBytes - 1) / mem.WordBytes
+	return bi.class/mem.WordBytes - payloadWords
 }
 
 // PaddingAddr returns the address of the last word of the block at addr
@@ -197,11 +249,11 @@ func (a *Allocator) PaddingWords(addr mem.Addr) uint32 {
 // size variant; we derive it from the allocator's records, which encodes
 // the same information.
 func (a *Allocator) PaddingAddr(addr mem.Addr) (mem.Addr, bool) {
-	info, ok := a.sizes[addr]
-	if !ok || a.PaddingWords(addr) == 0 {
+	bi := a.info(addr)
+	if bi == nil || a.PaddingWords(addr) == 0 {
 		return 0, false
 	}
-	return addr + mem.Addr(info.class) - mem.WordBytes, true
+	return addr + mem.Addr(bi.class) - mem.WordBytes, true
 }
 
 // PaddingAddrForBlock computes the jump-pointer slot for a block of the
@@ -241,11 +293,6 @@ func (a *Allocator) Image() *mem.Image { return a.img }
 // same workload must produce identical checksums regardless of
 // prefetching scheme; the differential tests rely on this.
 func (a *Allocator) PayloadChecksum() uint64 {
-	addrs := make([]mem.Addr, 0, len(a.sizes))
-	for addr := range a.sizes {
-		addrs = append(addrs, addr)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	h := fnv.New64a()
 	var buf [4]byte
 	word := func(w uint32) {
@@ -255,13 +302,25 @@ func (a *Allocator) PayloadChecksum() uint64 {
 		buf[3] = byte(w >> 24)
 		h.Write(buf[:])
 	}
-	for _, addr := range addrs {
-		info := a.sizes[addr]
-		word(uint32(addr))
-		word(info.payload)
-		payloadWords := (info.payload + mem.WordBytes - 1) / mem.WordBytes
-		for off := uint32(0); off < payloadWords; off++ {
-			word(a.img.ReadWord(addr + mem.Addr(off*mem.WordBytes)))
+	// The paged metadata table is ordered by address, so walking it in
+	// page/slot order visits live blocks in ascending address order —
+	// the same order the map-based implementation achieved by sorting.
+	for pi, pg := range a.meta {
+		if pg == nil {
+			continue
+		}
+		for si := range pg {
+			bi := &pg[si]
+			if bi.class == 0 {
+				continue
+			}
+			addr := Base + mem.Addr(pi*metaPageSlots+si)*MinClass
+			word(uint32(addr))
+			word(bi.payload)
+			payloadWords := (bi.payload + mem.WordBytes - 1) / mem.WordBytes
+			for off := uint32(0); off < payloadWords; off++ {
+				word(a.img.ReadWord(addr + mem.Addr(off*mem.WordBytes)))
+			}
 		}
 	}
 	return h.Sum64()

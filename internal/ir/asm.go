@@ -47,22 +47,29 @@ func SitePC(site int) uint32 { return CodeBase + uint32(site)*4 }
 // Asm builds a workload's dynamic instruction stream.  It is handed to
 // the kernel function by NewGen and must not be retained after the
 // kernel returns.
+//
+// Emission writes each decoded instruction directly into its final slot
+// of the outgoing batch (the decoded-trace buffer the timing core
+// replays from): one struct store per instruction, no scratch copy and
+// no per-instruction closure call.  The batch is handed to the consumer
+// only at the exact instant it fills — immediately after the
+// BatchSize'th instruction's accounting, before any further functional
+// execution — so the memory image and allocator state the timing side
+// observes at each handoff are identical to the historical
+// emit-callback path.
 type Asm struct {
 	img  *mem.Image
 	heap *heap.Allocator
 
-	emit func(*DynInst)
+	// batch is the in-progress decoded batch (cap BatchSize); send
+	// blocks until the consumer has drained a full batch and handed the
+	// buffer back.
+	batch []DynInst
+	send  func([]DynInst)
 
 	seq      uint64
 	sp       uint32
 	overhead bool
-
-	// d is the scratch instruction reused by every emitter.  record's
-	// emit callback copies it into the outgoing batch, so handing out
-	// &a.d never aliases past the call — and keeps the hot emission
-	// path allocation-free (a heap DynInst per instruction otherwise
-	// escapes through the emit closure).
-	d DynInst
 
 	counts     [NumClasses]uint64
 	origInsts  uint64 // non-overhead instructions
@@ -72,8 +79,32 @@ type Asm struct {
 }
 
 // newAsm is called by NewGen.
-func newAsm(alloc *heap.Allocator, emit func(*DynInst)) *Asm {
-	return &Asm{img: alloc.Image(), heap: alloc, emit: emit, sp: StackBase}
+func newAsm(alloc *heap.Allocator, send func([]DynInst)) *Asm {
+	return &Asm{
+		img:   alloc.Image(),
+		heap:  alloc,
+		batch: make([]DynInst, 0, BatchSize),
+		send:  send,
+		sp:    StackBase,
+	}
+}
+
+// slot extends the batch by one instruction and returns the slot to
+// decode into.  The caller must fill every field (slots are reused
+// across batches) and then call finish.
+func (a *Asm) slot() *DynInst {
+	n := len(a.batch)
+	a.batch = a.batch[:n+1]
+	return &a.batch[n]
+}
+
+// flushTail hands any unsent instructions to the consumer; NewGen calls
+// it after the kernel returns.
+func (a *Asm) flushTail() {
+	if len(a.batch) > 0 {
+		a.send(a.batch)
+		a.batch = a.batch[:0]
+	}
 }
 
 // Heap returns the simulated allocator, for workloads that need direct
@@ -88,7 +119,10 @@ func (a *Asm) next(site int) (uint64, uint32) {
 	return a.seq, SitePC(site)
 }
 
-func (a *Asm) record(d *DynInst) {
+// finish completes the instruction decoded into d (the most recent
+// slot): classification accounting, overhead tagging, and the batch
+// handoff when d was the batch's last slot.
+func (a *Asm) finish(d *DynInst) {
 	a.counts[d.Class]++
 	if a.overhead || d.Class == Prefetch {
 		d.Flags |= FOverhead
@@ -105,7 +139,10 @@ func (a *Asm) record(d *DynInst) {
 			a.otherLoads++
 		}
 	}
-	a.emit(d)
+	if len(a.batch) == BatchSize {
+		a.send(a.batch)
+		a.batch = a.batch[:0]
+	}
 }
 
 // Overhead runs fn with all emitted instructions tagged FOverhead.  The
@@ -123,8 +160,9 @@ func (a *Asm) Overhead(fn func()) {
 // Go.  x and y are the register inputs (use Imm for constants).
 func (a *Asm) Op(site int, c Class, result uint32, x, y Val) Val {
 	seq, pc := a.next(site)
-	a.d = DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result}
-	a.record(&a.d)
+	d := a.slot()
+	*d = DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result}
+	a.finish(d)
 	return Val{seq: seq, v: result, pc: pc}
 }
 
@@ -143,12 +181,13 @@ func (a *Asm) Load(site int, base Val, off uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	addr := base.v + off
 	v := a.img.ReadWord(addr)
-	a.d = DynInst{
+	d := a.slot()
+	*d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq,
 		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
 	}
-	a.record(&a.d)
+	a.finish(d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
@@ -158,12 +197,13 @@ func (a *Asm) LoadIdx(site int, base, idx Val, off uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	addr := base.v + idx.v + off
 	v := a.img.ReadWord(addr)
-	a.d = DynInst{
+	d := a.slot()
+	*d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq, Src2: idx.seq,
 		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
 	}
-	a.record(&a.d)
+	a.finish(d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
@@ -172,11 +212,12 @@ func (a *Asm) Store(site int, base Val, off uint32, val Val) {
 	seq, pc := a.next(site)
 	addr := base.v + off
 	a.img.WriteWord(addr, val.v)
-	a.d = DynInst{
+	d := a.slot()
+	*d = DynInst{
 		Seq: seq, PC: pc, Class: Store, Src1: base.seq, Src2: val.seq,
 		Addr: addr, Value: val.v, BaseValue: base.v, BaseProducerPC: base.pc,
 	}
-	a.record(&a.d)
+	a.finish(d)
 }
 
 // Prefetch emits a non-binding software prefetch of the block at
@@ -184,31 +225,34 @@ func (a *Asm) Store(site int, base Val, off uint32, val Val) {
 func (a *Asm) Prefetch(site int, base Val, off uint32, flags Flag) {
 	seq, pc := a.next(site)
 	addr := base.v + off
-	a.d = DynInst{
+	d := a.slot()
+	*d = DynInst{
 		Seq: seq, PC: pc, Class: Prefetch, Src1: base.seq,
 		Addr: addr, BaseValue: base.v, BaseProducerPC: base.pc,
 		Flags: flags,
 	}
-	a.record(&a.d)
+	a.finish(d)
 }
 
 // Branch emits a conditional branch at site, jumping to targetSite when
 // taken.  x and y are the compared register inputs.
 func (a *Asm) Branch(site int, taken bool, targetSite int, x, y Val) {
 	seq, pc := a.next(site)
-	a.d = DynInst{
+	d := a.slot()
+	*d = DynInst{
 		Seq: seq, PC: pc, Class: Branch, Src1: x.seq, Src2: y.seq,
 		Taken: taken, Target: SitePC(targetSite),
 	}
-	a.record(&a.d)
+	a.finish(d)
 }
 
 // Jump emits an unconditional jump to targetSite.
 func (a *Asm) Jump(site, targetSite int, flags Flag) {
 	seq, pc := a.next(site)
-	a.d = DynInst{Seq: seq, PC: pc, Class: Jump, Taken: true,
+	d := a.slot()
+	*d = DynInst{Seq: seq, PC: pc, Class: Jump, Taken: true,
 		Target: SitePC(targetSite), Flags: flags}
-	a.record(&a.d)
+	a.finish(d)
 }
 
 // Call emits a procedure call (jump flagged FCall).
@@ -234,16 +278,18 @@ func (a *Asm) Pop(site int) Val {
 func (a *Asm) loadAbs(site int, addr uint32, flags Flag) Val {
 	seq, pc := a.next(site)
 	v := a.img.ReadWord(addr)
-	a.d = DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags}
-	a.record(&a.d)
+	d := a.slot()
+	*d = DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags}
+	a.finish(d)
 	return Val{seq: seq, v: v, pc: pc}
 }
 
 func (a *Asm) storeAbs(site int, addr uint32, val Val) {
 	seq, pc := a.next(site)
 	a.img.WriteWord(addr, val.v)
-	a.d = DynInst{Seq: seq, PC: pc, Class: Store, Src1: val.seq, Addr: addr, Value: val.v}
-	a.record(&a.d)
+	d := a.slot()
+	*d = DynInst{Seq: seq, PC: pc, Class: Store, Src1: val.seq, Addr: addr, Value: val.v}
+	a.finish(d)
 }
 
 // LoadGlobal emits a load from the static data area.
@@ -297,8 +343,9 @@ func (a *Asm) FreeNode(p Val) {
 // iteration in tests).
 func (a *Asm) Nop(site int) {
 	seq, pc := a.next(site)
-	a.d = DynInst{Seq: seq, PC: pc, Class: Nop}
-	a.record(&a.d)
+	d := a.slot()
+	*d = DynInst{Seq: seq, PC: pc, Class: Nop}
+	a.finish(d)
 }
 
 // Stats summarizes what a kernel emitted.

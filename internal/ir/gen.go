@@ -41,11 +41,10 @@ func NewGen(alloc *heap.Allocator, kernel func(*Asm)) *Gen {
 		ack:  make(chan struct{}),
 		quit: make(chan struct{}),
 	}
-	batch := make([]DynInst, 0, BatchSize)
-	flush := func() {
-		if len(batch) == 0 {
-			return
-		}
+	// send hands a filled batch to the consumer and blocks until it has
+	// been drained (the ack); the Asm owns the batch buffer and writes
+	// decoded instructions straight into it (see Asm.slot).
+	send := func(batch []DynInst) {
 		select {
 		case g.ch <- batch:
 		case <-g.quit:
@@ -56,15 +55,8 @@ func NewGen(alloc *heap.Allocator, kernel func(*Asm)) *Gen {
 		case <-g.quit:
 			panic(stopGen{})
 		}
-		batch = batch[:0]
 	}
-	emit := func(d *DynInst) {
-		batch = append(batch, *d)
-		if len(batch) == BatchSize {
-			flush()
-		}
-	}
-	g.asm = newAsm(alloc, emit)
+	g.asm = newAsm(alloc, send)
 	go func() {
 		defer close(g.ch)
 		defer func() {
@@ -75,7 +67,7 @@ func NewGen(alloc *heap.Allocator, kernel func(*Asm)) *Gen {
 			}
 		}()
 		kernel(g.asm)
-		flush()
+		g.asm.flushTail()
 	}()
 	return g
 }

@@ -147,11 +147,13 @@ func (s *Server) runJob(j *job, local *[]localEntry) {
 	j.state = StateDone
 	j.result = data
 	s.retireLocked(j.id)
-	truncated := res.Stats.Truncated
-	if truncated {
-		// A MaxCycles-truncated run is not the spec's true result;
-		// caching it would serve the wrong snapshot forever.  The job
-		// still reports it, but the key stays uncached.
+	uncacheable := res.Stats.Truncated || res.Stats.Sampled
+	if uncacheable {
+		// A MaxCycles-truncated run is not the spec's true result, and
+		// a sampled run's cycle counts are extrapolated estimates;
+		// caching either would serve a wrong (or approximate) snapshot
+		// forever.  The job still reports it, but the key stays
+		// uncached.
 		if s.inflight[j.key] == j {
 			delete(s.inflight, j.key)
 		}
@@ -159,7 +161,7 @@ func (s *Server) runJob(j *job, local *[]localEntry) {
 	s.mu.Unlock()
 	s.ctr.jobsDone.Add(1)
 	close(j.done)
-	if !truncated {
+	if !uncacheable {
 		*local = append(*local, localEntry{j.key, data, j})
 	}
 }

@@ -495,3 +495,56 @@ func TestCloseDrainsAcceptedJobs(t *testing.T) {
 		t.Errorf("submit after Close = %d, want 503", code)
 	}
 }
+
+// TestUncacheableResultsNeverCached: truncated and sampled snapshots
+// are partial/extrapolated results — admitting them to the result cache
+// would serve approximate answers for a spec's canonical key forever.
+// Resubmitting the same spec must re-execute, and the key must stay
+// absent from /v1/results.
+func TestUncacheableResultsNeverCached(t *testing.T) {
+	cases := []struct {
+		name   string
+		memlat int
+		mark   func(*stats.Snapshot)
+	}{
+		{"truncated", 901, func(s *stats.Snapshot) { s.Truncated = true }},
+		{"sampled", 902, func(s *stats.Snapshot) {
+			s.Sampled = true
+			s.Sampling = &stats.SamplingReport{Intervals: 1}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestService(t, Config{
+				Workers:   1,
+				EpochSize: 1,
+				RunFunc: func(spec harness.Spec) (harness.Result, error) {
+					res, err := stubResult(spec)
+					tc.mark(&res.Stats)
+					return res, err
+				},
+			})
+			body := fmt.Sprintf(`{"bench":"health","size":"test","memlat":%d}`, tc.memlat)
+			sub, code := postJob(t, ts, body)
+			if code != http.StatusAccepted {
+				t.Fatalf("first submit = %d, want 202", code)
+			}
+			if jr := waitTerminal(t, ts, sub.ID); jr.Status != StateDone {
+				t.Fatalf("first job: %s (%s)", jr.Status, jr.Error)
+			}
+			if _, code := getRaw(t, ts, "/v1/results/"+sub.Key); code != http.StatusNotFound {
+				t.Fatalf("GET result for %s run = %d, want 404", tc.name, code)
+			}
+			sub2, code := postJob(t, ts, body)
+			if code != http.StatusAccepted || sub2.Cached {
+				t.Fatalf("resubmit = %d cached=%t, want 202 not-cached", code, sub2.Cached)
+			}
+			if jr := waitTerminal(t, ts, sub2.ID); jr.Status != StateDone {
+				t.Fatalf("second job: %s (%s)", jr.Status, jr.Error)
+			}
+			if st := serverStats(t, ts); st.Runs.Executed != 2 {
+				t.Fatalf("runs executed = %d, want 2 (no cache admission)", st.Runs.Executed)
+			}
+		})
+	}
+}

@@ -300,6 +300,23 @@ type CacheReport struct {
 	MemBytes    uint64 `json:"mem_bytes"`
 }
 
+// SamplingReport is the sampled-simulation section of a Snapshot: what
+// the detailed intervals measured and how tight the extrapolation is.
+type SamplingReport struct {
+	Intervals      int    `json:"intervals"`
+	MeasuredInsts  uint64 `json:"measured_instructions"`
+	MeasuredCycles uint64 `json:"measured_cycles"`
+	// FFInsts counts the functionally fast-forwarded instructions whose
+	// cycle cost was extrapolated from the measured CPI.
+	FFInsts   uint64  `json:"fast_forwarded_instructions"`
+	CPIMean   float64 `json:"cpi_mean"`
+	CPIStdErr float64 `json:"cpi_stderr"`
+	// CyclesLo/CyclesHi bound the extrapolated cycle count at 95%
+	// confidence.
+	CyclesLo uint64 `json:"cycles_lo"`
+	CyclesHi uint64 `json:"cycles_hi"`
+}
+
 // Snapshot is the versioned, self-describing statistics record one
 // simulation emits (jppsim -stats-json, harness.Result.Stats,
 // BENCH_jpp.json entries).
@@ -324,6 +341,15 @@ type Snapshot struct {
 	IPC       float64 `json:"ipc"`
 	Truncated bool    `json:"truncated,omitempty"`
 
+	// Sampled marks a sampled-simulation run: Cycles is an
+	// extrapolation (see Sampling for error bars), cycle attribution
+	// and prefetch counters cover only the detailed spans, and the
+	// accounting identities below are gated accordingly.  Sampled
+	// snapshots are approximations and must never be compared against
+	// or admitted alongside full-fidelity results.
+	Sampled  bool            `json:"sampled,omitempty"`
+	Sampling *SamplingReport `json:"sampling,omitempty"`
+
 	CyclesByCategory CycleBreakdown `json:"cycles_by_category"`
 	Prefetch         PrefetchReport `json:"prefetch"`
 	Cache            CacheReport    `json:"cache"`
@@ -336,8 +362,24 @@ func (s Snapshot) Validate() error {
 	if s.Version != SchemaVersion {
 		return fmt.Errorf("stats: snapshot version %d, want %d", s.Version, SchemaVersion)
 	}
-	if got := s.CyclesByCategory.Total(); got != s.Cycles {
-		return fmt.Errorf("stats: cycle categories sum to %d, want Cycles=%d", got, s.Cycles)
+	// A sampled run's attribution covers only the detailed spans while
+	// Cycles includes the extrapolated fast-forward share, so the
+	// equality holds only for full-fidelity runs.
+	if !s.Sampled {
+		if got := s.CyclesByCategory.Total(); got != s.Cycles {
+			return fmt.Errorf("stats: cycle categories sum to %d, want Cycles=%d", got, s.Cycles)
+		}
+	} else {
+		if s.Sampling == nil {
+			return fmt.Errorf("stats: sampled snapshot without a sampling report")
+		}
+		if got := s.CyclesByCategory.Total(); got > s.Cycles {
+			return fmt.Errorf("stats: sampled cycle categories sum to %d, beyond Cycles=%d", got, s.Cycles)
+		}
+		if s.Sampling.CyclesLo > s.Cycles || s.Sampling.CyclesHi < s.Cycles {
+			return fmt.Errorf("stats: sampled confidence interval [%d, %d] excludes Cycles=%d",
+				s.Sampling.CyclesLo, s.Sampling.CyclesHi, s.Cycles)
+		}
 	}
 	if got := s.Prefetch.OutcomeTotal(); got != s.Prefetch.Issued {
 		return fmt.Errorf("stats: prefetch outcomes sum to %d, want Issued=%d", got, s.Prefetch.Issued)
@@ -347,8 +389,9 @@ func (s Snapshot) Validate() error {
 	// engine cache request.  Truncated runs commit fewer software
 	// prefetches than they issue to the cache, and perfect-memory runs
 	// bypass the tracker entirely, so the identity is gated to complete
-	// realistic runs.
-	if !s.Truncated && !s.PerfectMem {
+	// realistic runs.  Sampled runs commit software prefetches during
+	// fast-forward that never reach the hierarchy, breaking it too.
+	if !s.Truncated && !s.PerfectMem && !s.Sampled {
 		if got := s.Prefetch.SWIssued + s.Prefetch.EngineIssued; got != s.Prefetch.Issued {
 			return fmt.Errorf("stats: per-source issues sum to %d (sw %d + engine %d), want Issued=%d",
 				got, s.Prefetch.SWIssued, s.Prefetch.EngineIssued, s.Prefetch.Issued)

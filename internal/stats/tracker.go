@@ -24,7 +24,21 @@ type Tracker struct {
 	// and unconsumed.
 	pending map[uint32]uint64
 
+	// filter counts pending lines per hash bucket.  Demand and Evicted
+	// run for every L1 access, and most lines have no pending prefetch:
+	// a zero bucket proves absence and skips the map probe entirely
+	// (the counter makes the filter exact on negatives — false
+	// positives merely fall through to the map).
+	filter [trackerFilterBuckets]uint16
+
 	finalized bool
+}
+
+// trackerFilterBuckets sizes the pending-line filter (power of two).
+const trackerFilterBuckets = 512
+
+func trackerFilterHash(line uint32) uint32 {
+	return (line * 2654435761) >> 23 & (trackerFilterBuckets - 1)
 }
 
 // NewTracker returns an empty tracker.
@@ -46,6 +60,8 @@ func (t *Tracker) PrefetchIssued(line uint32, done uint64, dropped bool) {
 		// hierarchy should have dropped this one, but keep the outcome
 		// identity exact by retiring the older request as never-used.
 		t.p.add(OutEvictedUnused)
+	} else {
+		t.filter[trackerFilterHash(line)]++
 	}
 	t.pending[line] = done
 }
@@ -55,8 +71,16 @@ func (t *Tracker) PrefetchIssued(line uint32, done uint64, dropped bool) {
 // A pending prefetch for the line is consumed and classified timely or
 // late by whether its fill had completed by now.
 func (t *Tracker) Demand(line uint32, now uint64, missL1 bool) {
+	h := trackerFilterHash(line)
+	if t.filter[h] == 0 {
+		if missL1 {
+			t.p.UncoveredMisses++
+		}
+		return
+	}
 	if done, ok := t.pending[line]; ok {
 		delete(t.pending, line)
+		t.filter[h]--
 		if done <= now {
 			t.p.add(OutUsefulTimely)
 		} else {
@@ -72,8 +96,13 @@ func (t *Tracker) Demand(line uint32, now uint64, missL1 bool) {
 // Evicted records that line left the L1 level (L1D or prefetch buffer
 // victim).  An unconsumed prefetch of that line becomes EvictedUnused.
 func (t *Tracker) Evicted(line uint32) {
+	h := trackerFilterHash(line)
+	if t.filter[h] == 0 {
+		return
+	}
 	if _, ok := t.pending[line]; ok {
 		delete(t.pending, line)
+		t.filter[h]--
 		t.p.add(OutEvictedUnused)
 	}
 }
@@ -89,6 +118,7 @@ func (t *Tracker) Finalize() {
 		delete(t.pending, line)
 		t.p.add(OutEvictedUnused)
 	}
+	t.filter = [trackerFilterBuckets]uint16{}
 }
 
 // Stats returns the accumulated counters.  Call Finalize first for the

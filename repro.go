@@ -114,6 +114,14 @@ type Config struct {
 	// MemLatency overrides the 70-cycle main memory latency.
 	MemLatency int
 
+	// Sampling, when non-nil, switches the run to SMARTS-style sampled
+	// simulation: detailed warmup + measured intervals with functional
+	// fast-forward in between.  Architectural results are bit-identical
+	// to a full run; cycle counts are extrapolated estimates carrying
+	// error bars (Result.Stats.Sampling).  Zero fields take defaults
+	// (cpu.DefaultSampling).
+	Sampling *cpu.SamplingConfig
+
 	// Machine, when non-nil, replaces the whole Table 2 memory system.
 	Machine *cache.Params
 	// Core, when non-nil, replaces the Table 2 out-of-order core.
@@ -143,10 +151,11 @@ func (c Config) spec() harness.Spec {
 			Interval: c.Interval,
 			Size:     c.Size,
 		},
-		Mem: c.Machine,
-		CPU: c.Core,
-		DBP: c.DBP,
-		HW:  c.HW,
+		Mem:      c.Machine,
+		CPU:      c.Core,
+		DBP:      c.DBP,
+		HW:       c.HW,
+		Sampling: c.Sampling,
 	}
 	if c.MemLatency > 0 && spec.Mem == nil {
 		m := cache.Defaults()

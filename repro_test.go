@@ -88,7 +88,7 @@ func TestEngineOverride(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "costs", "shootout"}
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "costs", "shootout", "mips"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
