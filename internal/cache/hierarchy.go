@@ -390,19 +390,16 @@ func (h *Hierarchy) writebackL1(now uint64, victim uint32) {
 	// writeback allocates it there silently.
 }
 
-// AccessData performs a data-side access at cycle now.
+// AccessData performs a data-side access at cycle now.  Demand accesses
+// (loads and stores) additionally accumulate their wait time — measured
+// from the pre-translation request cycle — into DemandWaitSum at each
+// demand return path, which keeps this single function on the hot path
+// instead of a stats wrapper around it.
 func (h *Hierarchy) AccessData(now uint64, addr uint32, kind Kind) Result {
-	res := h.accessData(now, addr, kind)
-	if (kind == KLoad || kind == KStore) && !h.p.PerfectData {
-		h.s.DemandWaitSum += res.Done - now
-	}
-	return res
-}
-
-func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 	if h.p.PerfectData {
 		return Result{Done: now + 1}
 	}
+	t0 := now
 	line := h.l1d.lineAddr(addr)
 	demand := kind == KLoad || kind == KStore
 	if demand {
@@ -444,6 +441,7 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 			// (direct L1 fills when the PB is disabled); first touch
 			// consumes it.
 			h.tr.Demand(line, now, false)
+			h.s.DemandWaitSum += done - t0
 		}
 		res.Done = done
 		return res
@@ -477,6 +475,9 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 		if kind == KStore || kind == KJPStore {
 			h.l1d.setDirty(addr)
 		}
+		if demand {
+			h.s.DemandWaitSum += done - t0
+		}
 		res.Done = done
 		res.FromPB = true
 		return res
@@ -496,6 +497,7 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 			// too.  Keep it simple: the requester just waits for the fill.
 			if demand {
 				h.tr.Demand(line, now, true)
+				h.s.DemandWaitSum += d - t0
 			}
 			res.Done = d
 			return res
@@ -535,6 +537,7 @@ func (h *Hierarchy) accessData(now uint64, addr uint32, kind Kind) Result {
 		}
 		if demand {
 			h.tr.Demand(line, now, true)
+			h.s.DemandWaitSum += first - t0
 		}
 	}
 	h.insertInflight(now, line, first)

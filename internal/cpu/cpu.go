@@ -87,6 +87,14 @@ type Config struct {
 	// flag exists for validation and throughput comparisons.
 	DisableCycleSkip bool
 
+	// DisableBlockReplay forces the per-instruction fetch path even when
+	// the generator carries decoded-block dispatch metadata, and (via
+	// the harness) disables the generator's basic-block replay cache.
+	// The two modes are cycle-exact equivalents (tests assert identical
+	// statistics); the flag exists for validation and throughput
+	// comparisons.
+	DisableBlockReplay bool
+
 	// InjectFault deliberately plants one architectural bug into the
 	// commit stage (see Fault).  It exists solely so the differential
 	// validation subsystem (internal/validate) can prove its oracle
@@ -253,14 +261,20 @@ type Core struct {
 	unissuedStores int
 
 	// Mask scheduler (used when WindowSize <= 64; issueScan otherwise).
-	// Bit i of each mask covers ROB slot i.  knownMask holds unissued
-	// entries whose operand-ready time is cached in readyAt, so the
-	// issue loop visits only them; everything else is asleep waiting
-	// for a producer to issue.  storeMask holds unissued stores (the
-	// load-ordering rule).  waiters[p] is the set of slots woken when
-	// slot p issues.
+	// Bit i of each mask covers ROB slot i.  Unissued entries whose
+	// operand-ready time is cached in readyAt are split by due time:
+	// readyMask holds entries ready now (the issue loop visits only
+	// them), pendMask holds entries whose readyAt is still in the
+	// future, with the earliest such time cached in pendMin (^uint64(0)
+	// when pendMask is empty).  Entries due by pendMin are promoted to
+	// readyMask at the top of the issue stage.  Everything else is
+	// asleep waiting for a producer to issue.  storeMask holds unissued
+	// stores (the load-ordering rule).  waiters[p] is the set of slots
+	// woken when slot p issues.
 	useMasks  bool
-	knownMask uint64
+	readyMask uint64
+	pendMask  uint64
+	pendMin   uint64
 	storeMask uint64
 	waiters   []uint64
 
@@ -282,6 +296,20 @@ type Core struct {
 	curLine  uint32      // current fetch line (+1 so 0 means none)
 	// genDone records that the generator has been observed exhausted.
 	genDone bool
+
+	// Block-replay front end (fetchDispatchSpan): when the generator
+	// carries decoded-block dispatch metadata, fetch walks whole
+	// replayed batches (span/spanMeta/spanPos) instead of staging one
+	// instruction at a time.  spanLineDone latches that the current
+	// head-of-span instruction's fetch line has been requested (the
+	// classic path's curLine-compare equivalent across stall retries);
+	// spanStaged mirrors `fetched != nil` for the skip logic.
+	useSpans     bool
+	span         []ir.DynInst
+	spanMeta     []ir.InstMeta
+	spanPos      int
+	spanLineDone bool
+	spanStaged   bool
 
 	// divFree tracks per-class next-free cycles for non-pipelined FUs.
 	divFree [ir.NumClasses]uint64
@@ -357,6 +385,7 @@ func New(cfg Config, hier *cache.Hierarchy, pred *bpred.Predictor, eng PrefetchE
 		missDone:      make([]uint64, 0, cfg.WindowSize),
 		loadDone:      make([]loadEvent, 0, cfg.WindowSize),
 		loadDoneMin:   ^uint64(0),
+		pendMin:       ^uint64(0),
 		headSeq:       1,
 		nextSeq:       1,
 		firstUnissued: 1,
@@ -396,6 +425,10 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 	if c.cfg.Sampling != nil {
 		return c.runSampled(gen)
 	}
+	// Block-granular dispatch needs the generator's decoded-block
+	// metadata; without it (or with the knob off) fetch stages one
+	// instruction at a time.
+	c.useSpans = !c.cfg.DisableBlockReplay && gen.HasMeta()
 	for {
 		// ---- commit ----
 		committed := c.commitStage()
@@ -408,7 +441,12 @@ func (c *Core) Run(gen *ir.Gen) Stats {
 		memUsed, issued, nextIssue := c.issue()
 
 		// ---- fetch/dispatch ----
-		done := c.fetchDispatch(gen)
+		var done bool
+		if c.useSpans {
+			done = c.fetchDispatchSpan(gen)
+		} else {
+			done = c.fetchDispatch(gen)
+		}
 		if done {
 			c.genDone = true
 		}
@@ -574,7 +612,16 @@ func (c *Core) nextEventAt(nextIssue uint64, fetchActive bool) uint64 {
 		// empty: it is what ends the run (see the break in Run), so the
 		// stall expiry stays an event in that case.
 		canFetch := false
-		if c.fetched != nil {
+		if c.useSpans {
+			// spanStaged mirrors the classic path's `fetched != nil`:
+			// the head-of-span instruction stalled on its line or the
+			// LSQ, so fetch acts only if that specific block clears.
+			if c.spanStaged {
+				canFetch = c.spanMeta[c.spanPos]&ir.MetaMem == 0 || c.lsqUsed < c.cfg.LSQSize
+			} else {
+				canFetch = !c.genDone || c.count == 0
+			}
+		} else if c.fetched != nil {
 			canFetch = !c.fetched.IsMem() || c.lsqUsed < c.cfg.LSQSize
 		} else {
 			canFetch = !c.genDone || c.count == 0
@@ -671,7 +718,14 @@ func (c *Core) subscribe(idx int) {
 	bit := uint64(1) << uint(idx)
 	if k1 && k2 {
 		e.waitLeft = 0
-		c.knownMask |= bit
+		if t1 <= c.now {
+			c.readyMask |= bit
+		} else {
+			c.pendMask |= bit
+			if t1 < c.pendMin {
+				c.pendMin = t1
+			}
+		}
 		return
 	}
 	n := uint8(0)
@@ -686,7 +740,9 @@ func (c *Core) subscribe(idx int) {
 	e.waitLeft = n
 }
 
-// wake publishes an issued entry's completion time to its waiters.
+// wake publishes an issued entry's completion time to its waiters.  A
+// woken entry's readyAt is at least the waker's doneAt (>= now+1), so
+// it always lands in pendMask.
 func (c *Core) wake(idx int, doneAt uint64) {
 	w := c.waiters[idx]
 	if w == 0 {
@@ -701,7 +757,10 @@ func (c *Core) wake(idx int, doneAt uint64) {
 			we.readyAt = doneAt
 		}
 		if we.waitLeft--; we.waitLeft == 0 {
-			c.knownMask |= uint64(1) << uint(wi)
+			c.pendMask |= uint64(1) << uint(wi)
+			if we.readyAt < c.pendMin {
+				c.pendMin = we.readyAt
+			}
 		}
 	}
 }
@@ -719,12 +778,33 @@ func (c *Core) olderMask(idx int) uint64 {
 }
 
 // issueMasked is the issue stage for windows of at most 64 entries: it
-// visits only the entries whose operands have a cached ready time
-// (knownMask), in age order, instead of rescanning the window.  The
-// selection it makes is identical to issueScan's.
+// visits only the entries that are operand-ready this cycle
+// (readyMask), in age order, instead of rescanning the window.  Entries
+// with a cached future ready time sit in pendMask and are promoted in
+// bulk only on cycles that reach pendMin, so stall-heavy spans touch no
+// entries at all.  The selection it makes is identical to issueScan's.
 func (c *Core) issueMasked() (memUsed, issued int, nextIssue uint64) {
-	nextIssue = ^uint64(0)
-	snap := c.knownMask
+	if c.pendMin <= c.now {
+		m, newMin := c.pendMask, ^uint64(0)
+		for m != 0 {
+			idx := bits.TrailingZeros64(m)
+			m &= m - 1
+			e := &c.rob[idx]
+			if e.readyAt <= c.now {
+				bit := uint64(1) << uint(idx)
+				c.pendMask &^= bit
+				c.readyMask |= bit
+			} else if e.readyAt < newMin {
+				newMin = e.readyAt
+			}
+		}
+		c.pendMin = newMin
+	}
+	// The skip logic's wake-up bound: the earliest future operand-ready
+	// time.  Structural-hazard bounds (always now+1 or a cached FU free
+	// time) overwrite it below only with earlier-or-equal values.
+	nextIssue = c.pendMin
+	snap := c.readyMask
 	if snap == 0 {
 		return
 	}
@@ -736,12 +816,6 @@ func (c *Core) issueMasked() (memUsed, issued int, nextIssue uint64) {
 			idx := bits.TrailingZeros64(m)
 			m &= m - 1
 			e := &c.rob[idx]
-			if e.readyAt > c.now {
-				if e.readyAt < nextIssue {
-					nextIssue = e.readyAt
-				}
-				continue
-			}
 			d := &e.d
 			switch d.Class {
 			case ir.Load:
@@ -811,7 +885,7 @@ func (c *Core) issueMasked() (memUsed, issued int, nextIssue uint64) {
 				e.issuedAt = c.now
 				c.ring[d.Seq&uint64(len(c.ring)-1)] = e.doneAt
 				bit := uint64(1) << uint(idx)
-				c.knownMask &^= bit
+				c.readyMask &^= bit
 				if d.Class == ir.Store {
 					c.storeMask &^= bit
 					c.unissuedStores--
@@ -1069,6 +1143,115 @@ func (c *Core) deliverLoads() int {
 	return delivered
 }
 
+// dispatch inserts d into the window: ROB tail, status ring, LSQ and
+// store-FIFO occupancy, and mask-scheduler subscription.  The ROB slot
+// is written field by field: doneAt/issuedAt/readyAt/waitLeft may stay
+// stale because they are only read after issue (gated on e.issued) or
+// after subscribe rewrites them, and avoiding the whole-struct
+// clear-and-copy is measurably cheaper at four dispatches per cycle.
+func (c *Core) dispatch(d *ir.DynInst, isMem, isStore bool) {
+	tail := (c.head + c.count) & (len(c.rob) - 1)
+	e := &c.rob[tail]
+	e.d = *d
+	e.dispatchedAt = c.now
+	e.issued = false
+	e.isMem = isMem
+	e.missL1 = false
+	c.ring[d.Seq&uint64(len(c.ring)-1)] = ^uint64(0)
+	c.count++
+	c.nextSeq = d.Seq + 1
+	if isMem {
+		c.lsqUsed++
+		if isStore {
+			c.storeQ[(c.storeHead+c.storeCount)&(len(c.storeQ)-1)] = storeRef{seq: d.Seq, addr: d.Addr}
+			c.storeCount++
+			c.unissuedStores++
+		}
+	}
+	if c.useMasks {
+		if isStore {
+			c.storeMask |= uint64(1) << uint(tail)
+		}
+		c.subscribe(tail)
+	}
+}
+
+// fetchDispatchSpan is the block-replay front end: it walks whole
+// decoded batches (NextBatch) using the generator's pre-resolved
+// per-instruction metadata, so the hot path performs no class decode,
+// no fetch-line arithmetic, and no per-instruction staging.  Its
+// dispatch decisions — and therefore every timed event — are
+// cycle-exact equivalents of fetchDispatch's: the metadata encodes
+// exactly the classifications and line crossings the classic path
+// computes, and batch refills happen at the same stream positions, so
+// the memory-image run-ahead the prefetch engines observe is identical.
+// It returns true when the stream is exhausted.
+func (c *Core) fetchDispatchSpan(gen *ir.Gen) bool {
+	if c.now < c.fetchReadyAt || c.blockSeq != 0 {
+		c.s.FetchStallCycles++
+		return false
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count >= c.cfg.WindowSize {
+			return false
+		}
+		if c.spanPos == len(c.span) {
+			ins, meta := gen.NextBatch()
+			if ins == nil {
+				return true
+			}
+			c.span, c.spanMeta, c.spanPos = ins, meta, 0
+		}
+		d := &c.span[c.spanPos]
+		m := c.spanMeta[c.spanPos]
+		// Instruction cache: fetching a new line may stall.  The latch
+		// ensures one access per line per instruction across stall
+		// retries (the classic path's curLine-compare).
+		if m&ir.MetaNewLine != 0 && !c.spanLineDone {
+			ready, miss := c.hier.AccessInst(c.now, d.PC)
+			c.spanLineDone = true
+			if miss || ready > c.now+1 {
+				c.fetchReadyAt = ready
+				c.spanStaged = true
+				return false
+			}
+		}
+		// LSQ space.
+		isMem := m&ir.MetaMem != 0
+		if isMem && c.lsqUsed >= c.cfg.LSQSize {
+			c.spanStaged = true
+			return false
+		}
+		c.spanLineDone = false
+		c.spanStaged = false
+		c.spanPos++
+		c.dispatch(d, isMem, m&ir.MetaStore != 0)
+
+		// Control flow.
+		if m&ir.MetaCtrl != 0 {
+			if d.Class == ir.Branch {
+				if !c.pred.PredictCond(d.PC, d.Taken, d.Target) {
+					// Freeze fetch until this branch resolves.
+					c.blockSeq = d.Seq
+					return false
+				}
+				if d.Taken {
+					return false // taken branch ends the fetch group
+				}
+			} else { // Jump
+				if d.Flags&ir.FReturn != 0 {
+					return false // perfect return prediction, group ends
+				}
+				if !c.pred.PredictJump(d.PC, d.Target) {
+					c.fetchReadyAt = c.now + 1 + uint64(c.cfg.BTBMissPenalty)
+				}
+				return false
+			}
+		}
+	}
+	return false
+}
+
 // fetchDispatch brings up to FetchWidth instructions into the window.
 // It returns true when the stream is exhausted.
 func (c *Core) fetchDispatch(gen *ir.Gen) bool {
@@ -1105,27 +1288,7 @@ func (c *Core) fetchDispatch(gen *ir.Gen) bool {
 			return false
 		}
 		c.fetched = nil
-
-		// Dispatch into the window.
-		tail := (c.head + c.count) & (len(c.rob) - 1)
-		c.rob[tail] = robEntry{d: *d, isMem: isMem, dispatchedAt: c.now}
-		c.ring[d.Seq&uint64(len(c.ring)-1)] = ^uint64(0)
-		c.count++
-		c.nextSeq = d.Seq + 1
-		if isMem {
-			c.lsqUsed++
-			if d.Class == ir.Store {
-				c.storeQ[(c.storeHead+c.storeCount)&(len(c.storeQ)-1)] = storeRef{seq: d.Seq, addr: d.Addr}
-				c.storeCount++
-				c.unissuedStores++
-			}
-		}
-		if c.useMasks {
-			if d.Class == ir.Store {
-				c.storeMask |= uint64(1) << uint(tail)
-			}
-			c.subscribe(tail)
-		}
+		c.dispatch(d, isMem, d.Class == ir.Store)
 
 		// Control flow.
 		switch d.Class {

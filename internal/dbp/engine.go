@@ -350,15 +350,17 @@ func (e *Engine) Tick(now uint64, freePorts int) int {
 	n := 0
 	kmin := ^uint64(0)
 	for i := 0; i < len(e.pending); i++ {
-		a := e.pending[i]
-		if a.done > now || e.queryQuota <= 0 {
-			e.pending[n] = a
-			if a.done < kmin {
-				kmin = a.done
+		if d := e.pending[i].done; d > now || e.queryQuota <= 0 {
+			if n != i {
+				e.pending[n] = e.pending[i]
+			}
+			if d < kmin {
+				kmin = d
 			}
 			n++
 			continue
 		}
+		a := e.pending[i]
 		value := e.img.ReadWord(a.addr)
 		if a.jumpWord {
 			// The fetched word is a pointer to a future node: remember

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dbp"
 	"repro/internal/olden"
 	"repro/internal/prefetch"
+	"repro/internal/stats"
 )
 
 // ExpConfig parameterizes experiment reproduction.
@@ -640,6 +641,8 @@ func Mips(cfg ExpConfig) (Report, error) {
 		return Report{}, fmt.Errorf("mips: %w", err)
 	}
 	var doc struct {
+		Size           string                        `json:"size"`
+		Snapshots      []stats.Snapshot              `json:"snapshots"`
 		SimMIPS        map[string]map[string]float64 `json:"sim_mips"`
 		SimMIPSGeomean float64                       `json:"sim_mips_geomean"`
 	}
@@ -650,12 +653,29 @@ func Mips(cfg ExpConfig) (Report, error) {
 		return Report{}, fmt.Errorf("mips: %s has no sim_mips section", path)
 	}
 
+	// Per-kernel replay hit rate, averaged over the runs that carried a
+	// replay section, keyed like the sim_mips maps (bench, or bench@size
+	// for the off-primary-size sweeps).
+	hitSum := make(map[string]float64)
+	hitN := make(map[string]int)
+	for _, s := range doc.Snapshots {
+		if s.Replay == nil {
+			continue
+		}
+		key := s.Bench
+		if s.Size != doc.Size {
+			key += "@" + s.Size
+		}
+		hitSum[key] += s.Replay.HitRate
+		hitN[key]++
+	}
+
 	schemes := core.Schemes()
 	header := []string{"kernel"}
 	for _, s := range schemes {
 		header = append(header, s.String())
 	}
-	header = append(header, "geomean", "vs-seed")
+	header = append(header, "geomean", "vs-seed", "replay-hit")
 
 	var keys []string
 	for k := range doc.SimMIPS {
@@ -688,6 +708,11 @@ func Mips(cfg ExpConfig) (Report, error) {
 		// keyed by bare kernel name, so those rows get no multiple.
 		if seed, ok := seedSimMIPS[k]; ok {
 			row = append(row, fmt.Sprintf("%.2fx", kGeo/seed))
+		} else {
+			row = append(row, "-")
+		}
+		if n := hitN[k]; n > 0 {
+			row = append(row, fmt.Sprintf("%.2f", hitSum[k]/float64(n)))
 		} else {
 			row = append(row, "-")
 		}

@@ -9,15 +9,13 @@ import (
 
 // Val is a register value handle.  Workload kernels thread Vals between
 // Asm calls; each Val carries the concrete 32-bit value (so the kernel
-// can compute with it in Go), the dynamic sequence number of the
-// producing instruction (so the timing core can track dependences) and
-// the producer's static PC (ground truth for tests).
+// can compute with it in Go) and the dynamic sequence number of the
+// producing instruction (so the timing core can track dependences).
 //
 // The zero Val is the constant 0: always ready, produced by nothing.
 type Val struct {
 	seq uint64
 	v   uint32
-	pc  uint32
 }
 
 // Imm returns a constant value, always ready.
@@ -63,9 +61,16 @@ type Asm struct {
 
 	// batch is the in-progress decoded batch (cap BatchSize); send
 	// blocks until the consumer has drained a full batch and handed the
-	// buffer back.
+	// buffer back.  meta carries one pre-decoded dispatch byte per
+	// batch slot when block replay is enabled (nil otherwise) and is
+	// handed over with the batch.
 	batch []DynInst
-	send  func([]DynInst)
+	meta  []InstMeta
+	send  func([]DynInst, []InstMeta)
+
+	// rp is the basic-block capture/replay state machine (see
+	// replay.go); active only when meta is non-nil.
+	rp replayState
 
 	seq      uint64
 	sp       uint32
@@ -78,15 +83,22 @@ type Asm struct {
 	otherLoads uint64
 }
 
-// newAsm is called by NewGen.
-func newAsm(alloc *heap.Allocator, send func([]DynInst)) *Asm {
-	return &Asm{
+// newAsm is called by NewGen.  When replay is true the Asm captures and
+// replays decoded basic blocks and emits per-instruction dispatch
+// metadata alongside each batch.
+func newAsm(alloc *heap.Allocator, send func([]DynInst, []InstMeta), replay bool) *Asm {
+	a := &Asm{
 		img:   alloc.Image(),
 		heap:  alloc,
 		batch: make([]DynInst, 0, BatchSize),
 		send:  send,
 		sp:    StackBase,
 	}
+	if replay {
+		a.meta = make([]InstMeta, 0, BatchSize)
+		a.rp.atStart = true
+	}
+	return a
 }
 
 // slot extends the batch by one instruction and returns the slot to
@@ -102,8 +114,17 @@ func (a *Asm) slot() *DynInst {
 // it after the kernel returns.
 func (a *Asm) flushTail() {
 	if len(a.batch) > 0 {
-		a.send(a.batch)
-		a.batch = a.batch[:0]
+		a.sendBatch()
+	}
+}
+
+// sendBatch hands the filled batch (and its metadata, when replay is
+// enabled) to the consumer and resets the buffers.
+func (a *Asm) sendBatch() {
+	a.send(a.batch, a.meta)
+	a.batch = a.batch[:0]
+	if a.meta != nil {
+		a.meta = a.meta[:0]
 	}
 }
 
@@ -121,8 +142,22 @@ func (a *Asm) next(site int) (uint64, uint32) {
 
 // finish completes the instruction decoded into d (the most recent
 // slot): classification accounting, overhead tagging, and the batch
-// handoff when d was the batch's last slot.
+// handoff when d was the batch's last slot.  With block replay enabled
+// it routes through the capture/replay state machine instead.
 func (a *Asm) finish(d *DynInst) {
+	if a.meta != nil {
+		a.finishTracked(d)
+		return
+	}
+	a.account(d)
+	if len(a.batch) == BatchSize {
+		a.sendBatch()
+	}
+}
+
+// account applies per-instruction classification accounting and
+// finalizes d's flags (overhead tagging).
+func (a *Asm) account(d *DynInst) {
 	a.counts[d.Class]++
 	if a.overhead || d.Class == Prefetch {
 		d.Flags |= FOverhead
@@ -138,10 +173,6 @@ func (a *Asm) finish(d *DynInst) {
 		} else {
 			a.otherLoads++
 		}
-	}
-	if len(a.batch) == BatchSize {
-		a.send(a.batch)
-		a.batch = a.batch[:0]
 	}
 }
 
@@ -163,7 +194,7 @@ func (a *Asm) Op(site int, c Class, result uint32, x, y Val) Val {
 	d := a.slot()
 	*d = DynInst{Seq: seq, PC: pc, Class: c, Src1: x.seq, Src2: y.seq, Value: result}
 	a.finish(d)
-	return Val{seq: seq, v: result, pc: pc}
+	return Val{seq: seq, v: result}
 }
 
 // Alu emits a single-cycle integer operation.
@@ -184,11 +215,11 @@ func (a *Asm) Load(site int, base Val, off uint32, flags Flag) Val {
 	d := a.slot()
 	*d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq,
-		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
+		Addr: addr, Value: v, BaseValue: base.v,
 		Flags: flags,
 	}
 	a.finish(d)
-	return Val{seq: seq, v: v, pc: pc}
+	return Val{seq: seq, v: v}
 }
 
 // LoadIdx emits a load from base+idx+off with two register inputs
@@ -200,11 +231,11 @@ func (a *Asm) LoadIdx(site int, base, idx Val, off uint32, flags Flag) Val {
 	d := a.slot()
 	*d = DynInst{
 		Seq: seq, PC: pc, Class: Load, Src1: base.seq, Src2: idx.seq,
-		Addr: addr, Value: v, BaseValue: base.v, BaseProducerPC: base.pc,
+		Addr: addr, Value: v, BaseValue: base.v,
 		Flags: flags,
 	}
 	a.finish(d)
-	return Val{seq: seq, v: v, pc: pc}
+	return Val{seq: seq, v: v}
 }
 
 // Store emits a store of val to base+off.
@@ -215,7 +246,7 @@ func (a *Asm) Store(site int, base Val, off uint32, val Val) {
 	d := a.slot()
 	*d = DynInst{
 		Seq: seq, PC: pc, Class: Store, Src1: base.seq, Src2: val.seq,
-		Addr: addr, Value: val.v, BaseValue: base.v, BaseProducerPC: base.pc,
+		Addr: addr, Value: val.v, BaseValue: base.v,
 	}
 	a.finish(d)
 }
@@ -228,7 +259,7 @@ func (a *Asm) Prefetch(site int, base Val, off uint32, flags Flag) {
 	d := a.slot()
 	*d = DynInst{
 		Seq: seq, PC: pc, Class: Prefetch, Src1: base.seq,
-		Addr: addr, BaseValue: base.v, BaseProducerPC: base.pc,
+		Addr: addr, BaseValue: base.v,
 		Flags: flags,
 	}
 	a.finish(d)
@@ -281,7 +312,7 @@ func (a *Asm) loadAbs(site int, addr uint32, flags Flag) Val {
 	d := a.slot()
 	*d = DynInst{Seq: seq, PC: pc, Class: Load, Addr: addr, Value: v, Flags: flags}
 	a.finish(d)
-	return Val{seq: seq, v: v, pc: pc}
+	return Val{seq: seq, v: v}
 }
 
 func (a *Asm) storeAbs(site int, addr uint32, val Val) {
@@ -327,7 +358,7 @@ func (a *Asm) MallocIn(id heap.ArenaID, n uint32) Val {
 	// Bookkeeping arithmetic typical of dlmalloc-style allocators.
 	p = a.Alu(mallocSite+5, addr, p, Val{})
 	a.Branch(mallocSite+6, false, mallocSite, p, Val{})
-	return Val{seq: p.seq, v: addr, pc: p.pc}
+	return Val{seq: p.seq, v: addr}
 }
 
 // FreeNode releases the block at p, emitting free-list relink cost.
@@ -355,18 +386,31 @@ type Stats struct {
 	OvhdInsts  uint64
 	LDSLoads   uint64
 	OtherLoads uint64
+
+	// Replay-cache counters (all zero when block replay is disabled).
+	// BlocksCaptured counts decoded blocks inserted into the table,
+	// ReplayedInsts counts instructions emitted through the replay fast
+	// path as part of a completed block, and ReplayAborts counts
+	// template mismatches (data-dependent emission paths).
+	BlocksCaptured uint64
+	ReplayedInsts  uint64
+	ReplayAborts   uint64
 }
 
 // Total returns the total dynamic instruction count.
 func (s Stats) Total() uint64 { return s.OrigInsts + s.OvhdInsts }
 
 func (a *Asm) stats() Stats {
+	a.finishReplayTail()
 	return Stats{
-		Counts:     a.counts,
-		OrigInsts:  a.origInsts,
-		OvhdInsts:  a.ovhdInsts,
-		LDSLoads:   a.ldsLoads,
-		OtherLoads: a.otherLoads,
+		Counts:         a.counts,
+		OrigInsts:      a.origInsts,
+		OvhdInsts:      a.ovhdInsts,
+		LDSLoads:       a.ldsLoads,
+		OtherLoads:     a.otherLoads,
+		BlocksCaptured: a.rp.blocksCaptured,
+		ReplayedInsts:  a.rp.replayedInsts,
+		ReplayAborts:   a.rp.replayAborts,
 	}
 }
 

@@ -138,10 +138,6 @@ type DynInst struct {
 	// operations.  The dependence predictor's potential-producer window
 	// matches on it.
 	BaseValue uint32
-	// BaseProducerPC is the static PC of the instruction that produced
-	// the base register (ground truth, used by tests to validate the
-	// value-matching trainer; the hardware models do not read it).
-	BaseProducerPC uint32
 	// Target is the branch/jump target PC.
 	Target uint32
 

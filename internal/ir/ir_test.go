@@ -82,20 +82,6 @@ func TestLoadStoreExecuteFunctionally(t *testing.T) {
 	}
 }
 
-func TestBaseProducerPC(t *testing.T) {
-	insts, _ := drain(t, func(a *Asm) {
-		p := a.Malloc(12)
-		q := a.Malloc(12)
-		a.Store(100, p, 0, q) // p->next = q
-		n := a.Load(101, p, 0, FLDS)
-		a.Load(102, n, 0, FLDS) // load through the loaded pointer
-	})
-	last := insts[len(insts)-1]
-	if last.BaseProducerPC != SitePC(101) {
-		t.Fatalf("BaseProducerPC = %#x, want PC of site 101 (%#x)", last.BaseProducerPC, SitePC(101))
-	}
-}
-
 func TestOverheadTagging(t *testing.T) {
 	_, stats := drain(t, func(a *Asm) {
 		p := a.Malloc(12)

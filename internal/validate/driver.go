@@ -21,7 +21,7 @@ type Failure struct {
 	Subject string
 	// Check names the property that failed: "run", "interp", "oracle",
 	// "digest", "heap", "orig-insts", "commit-count", "skip-cycles",
-	// "cycle-sanity", "truncated".
+	// "replay-cycles", "cycle-sanity", "truncated".
 	Check string
 	// Detail is the human-readable explanation.
 	Detail string
@@ -137,7 +137,7 @@ func diffDigest(subject string, got, want Digest, withRegs bool) []Failure {
 // timedRun executes one timing-core simulation with a digest collector
 // attached, under the driver's fault isolation (panic recovery +
 // deadline + cycle backstop).
-func timedRun(spec harness.Spec, disableSkip bool, cfg Config) (harness.Result, *Collector, error) {
+func timedRun(spec harness.Spec, disableSkip, disableReplay bool, cfg Config) (harness.Result, *Collector, error) {
 	col := NewCollector()
 	cc := cpu.Defaults()
 	if spec.CPU != nil {
@@ -146,6 +146,7 @@ func timedRun(spec harness.Spec, disableSkip bool, cfg Config) (harness.Result, 
 	cc.Tracer = col
 	cc.MaxCycles = cfg.MaxCycles
 	cc.DisableCycleSkip = disableSkip
+	cc.DisableBlockReplay = disableReplay
 	cc.InjectFault = cfg.Fault
 	cc.FaultAfter = cfg.FaultAfter
 	spec.CPU = &cc
@@ -156,26 +157,33 @@ func timedRun(spec harness.Spec, disableSkip bool, cfg Config) (harness.Result, 
 	return res, col, err
 }
 
-// skipModeName labels the two cycle-skip variants in subjects.
-func skipModeName(disable bool) string {
-	if disable {
-		return "noskip"
-	}
-	return "skip"
+// runVariant is one (cycle-skip, block-replay) mode combination of the
+// differential matrix.  The default mode runs first; the replay-off leg
+// exercises the per-instruction emission and fetch paths so a replay
+// bug cannot hide by breaking both sides identically.
+type runVariant struct {
+	name                       string
+	disableSkip, disableReplay bool
 }
 
-// checkRuns drives one workload/scheme through the core with cycle
-// skipping on and off, comparing each commit-side digest against the
-// oracle and asserting the two skip modes are cycle-exact equivalents.
-// It returns the skip-on cycle count (0 when it could not be obtained)
-// for the caller's cycle-sanity bound.
+var runVariants = [...]runVariant{
+	{name: "skip", disableSkip: false, disableReplay: false},
+	{name: "noskip", disableSkip: true, disableReplay: false},
+	{name: "noreplay", disableSkip: false, disableReplay: true},
+}
+
+// checkRuns drives one workload/scheme through the core under every
+// (cycle-skip, block-replay) variant, comparing each commit-side digest
+// against the oracle and asserting all variants are cycle-exact
+// equivalents.  It returns the default variant's cycle count (0 when it
+// could not be obtained) for the caller's cycle-sanity bound.
 func checkRuns(subject string, spec harness.Spec, oracle Digest, emitted uint64, withRegs bool, cfg Config) ([]Failure, uint64) {
 	var fails []Failure
-	var cycles [2]uint64
-	ok := [2]bool{}
-	for i, disable := range []bool{false, true} {
-		name := subject + "/" + skipModeName(disable)
-		res, col, err := timedRun(spec, disable, cfg)
+	var cycles [len(runVariants)]uint64
+	ok := [len(runVariants)]bool{}
+	for i, v := range runVariants {
+		name := subject + "/" + v.name
+		res, col, err := timedRun(spec, v.disableSkip, v.disableReplay, cfg)
 		if err != nil {
 			fails = append(fails, Failure{Subject: name, Check: "run", Detail: err.Error()})
 			continue
@@ -205,6 +213,10 @@ func checkRuns(subject string, spec harness.Spec, oracle Digest, emitted uint64,
 	if ok[0] && ok[1] && cycles[0] != cycles[1] {
 		fails = append(fails, Failure{Subject: subject, Check: "skip-cycles",
 			Detail: fmt.Sprintf("cycle skipping changed execution time: skip=%d noskip=%d", cycles[0], cycles[1])})
+	}
+	if ok[0] && ok[2] && cycles[0] != cycles[2] {
+		fails = append(fails, Failure{Subject: subject, Check: "replay-cycles",
+			Detail: fmt.Sprintf("block replay changed execution time: replay=%d noreplay=%d", cycles[0], cycles[2])})
 	}
 	if ok[0] {
 		return fails, cycles[0]
