@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbp"
 	"repro/internal/harness"
+	"repro/internal/kernels"
 	"repro/internal/olden"
 	"repro/internal/stats"
 )
@@ -348,11 +349,12 @@ type benchDoc struct {
 func TestEmitBenchJSON(t *testing.T) {
 	size := benchSize
 	benches := []string{"health", "mst", "perimeter", "treeadd", "em3d"}
+	benches = append(benches, kernels.Names()...)
 	largeBenches := benches
 	if testing.Short() {
 		size = olden.SizeTest
 		benches = benches[:0]
-		for _, bm := range olden.All() {
+		for _, bm := range harness.AllBenches() {
 			benches = append(benches, bm.Name)
 		}
 		largeBenches = nil

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dbp"
+	"repro/internal/harness"
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/mem"
@@ -78,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	b, ok := olden.ByName(*bench)
+	b, ok := harness.BenchByName(*bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", *bench)
 	}

@@ -25,7 +25,7 @@ import (
 // CI smoke step asserts it stays present and positive in
 // BENCH_jpp.json.
 func BenchmarkCore(b *testing.B) {
-	for _, bm := range olden.All() {
+	for _, bm := range harness.AllBenches() {
 		b.Run(bm.Name, func(b *testing.B) {
 			var insts, cycles uint64
 			for i := 0; i < b.N; i++ {

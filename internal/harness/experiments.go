@@ -41,7 +41,7 @@ func (c ExpConfig) benches() []*olden.Benchmark {
 	}
 	var out []*olden.Benchmark
 	for _, n := range c.Benches {
-		if b, ok := olden.ByName(n); ok {
+		if b, ok := BenchByName(n); ok {
 			out = append(out, b)
 		}
 	}

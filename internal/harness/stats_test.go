@@ -22,7 +22,7 @@ var update = flag.Bool("update", false, "regenerate golden stats snapshots")
 // issued, and the derived metrics sit in [0,1].
 func TestStatsInvariantsAllKernelsAllEngines(t *testing.T) {
 	t.Parallel()
-	for _, b := range olden.All() {
+	for _, b := range AllBenches() {
 		for _, scheme := range core.Schemes() {
 			b, scheme := b, scheme
 			t.Run(b.Name+"/"+scheme.String(), func(t *testing.T) {
@@ -177,7 +177,7 @@ func TestStatsDeterministic(t *testing.T) {
 //	go test ./internal/harness -run TestGoldenStats -update
 func TestGoldenStats(t *testing.T) {
 	t.Parallel()
-	for _, b := range olden.All() {
+	for _, b := range AllBenches() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// quicklist models a QuickList (SNIPPETS.md snippet 3): a singly-linked
+// list whose nodes carry a skip pointer to the node `interval` links
+// ahead, maintained by the data structure itself — appended during
+// construction and re-pointed on every insert and remove.  Because the
+// skip field is architectural state written under every scheme, the
+// software and cooperative schemes need no creation idiom at all: the
+// prefetch simply chases a pointer the program keeps correct anyway,
+// so the paper's "a priori creation overhead" is zero and the only
+// cost is the maintenance the structure already pays.
+//
+// Layout (payload bytes; blocks round to power-of-two classes):
+//
+//	node: val(0) next(4) skip(8) = 12 -> 16
+const (
+	qlVal  = 0
+	qlNext = 4
+	qlSkip = 8
+)
+
+// Static sites for quicklist.
+const (
+	qlBuild = ir.FirstUserSite + iota*8
+	qlWalk
+	qlChurn
+	qlFix
+	qlIdiom
+)
+
+func init() {
+	Register(&Benchmark{
+		Name:        "quicklist",
+		Description: "list that maintains its own jump pointers (QuickList)",
+		Structures:  "singly-linked list + structural skip pointers",
+		Behavior:    "full walks between insert/remove churn; zero creation idiom",
+		Idioms:      []core.Idiom{core.IdiomChain},
+		Traversals:  8,
+		Extension:   true,
+		Kernel:      quicklistKernel,
+	})
+}
+
+type quicklistCfg struct {
+	nodes  int
+	rounds int // walk + churn rounds
+	churn  int // insert/remove pairs per round
+}
+
+func quicklistSizes(s Size) quicklistCfg {
+	switch s {
+	case SizeTest:
+		return quicklistCfg{nodes: 48, rounds: 2, churn: 6}
+	case SizeSmall:
+		return quicklistCfg{nodes: 2048, rounds: 3, churn: 128}
+	case SizeLarge:
+		// 64K x 16B = 1MB of nodes: well past the L2.
+		return quicklistCfg{nodes: 64000, rounds: 4, churn: 4000}
+	default:
+		// 24K x 16B = 384KB of nodes: far beyond the L1, most of the
+		// way into the L2.
+		return quicklistCfg{nodes: 24000, rounds: 4, churn: 1500}
+	}
+}
+
+func quicklistKernel(p Params) func(*ir.Asm) {
+	cfg := quicklistSizes(p.Size)
+	idiom := swIdiom(p, core.IdiomChain)
+	isCoop := coop(p)
+	dist := interval(p) // structural skip distance
+
+	return func(a *ir.Asm) {
+		r := newRNG(0x45d9f3b3)
+
+		// order mirrors the list so churn knows each node's position;
+		// every link and skip mutation is still emitted.
+		var order []ir.Val
+
+		// fixSkips re-points the skip fields of the dist nodes ending
+		// at position pos (a real QuickList carries this lag window in
+		// its jump list; the snippet's left/right pointer shifts do the
+		// same work).  Each re-point is one emitted store; targets past
+		// the tail clear the field.
+		fixSkips := func(pos int) {
+			for j := pos; j >= pos-dist && j >= 0; j-- {
+				tgt := ir.Imm(0)
+				if j+dist < len(order) {
+					tgt = order[j+dist]
+				}
+				a.Store(qlFix, order[j], qlSkip, tgt)
+			}
+		}
+
+		// Build: append nodes, installing each skip pointer as soon as
+		// its target exists — construction maintains the structure.
+		for i := 0; i < cfg.nodes; i++ {
+			n := a.Malloc(12)
+			a.Store(qlBuild, n, qlVal, ir.Imm(r.next()&0xFFFF))
+			if i > 0 {
+				a.Store(qlBuild+1, order[i-1], qlNext, n)
+			}
+			order = append(order, n)
+			if i >= dist {
+				a.Store(qlBuild+2, order[i-dist], qlSkip, n)
+			}
+		}
+
+		// walk chases the whole list; under the software schemes each
+		// visit prefetches through the structural skip field (no
+		// creation code, no jump queue).
+		walk := func() {
+			cur := order[0]
+			sum := ir.Imm(0)
+			for !cur.IsNil() {
+				if prefetchOn(p) && idiom != core.IdiomNone {
+					queuePrefetch(a, qlIdiom, cur, qlSkip, isCoop)
+				}
+				v := a.Load(qlWalk, cur, qlVal, ir.FLDS)
+				sum = a.Alu(qlWalk+1, sum.U32()+v.U32(), sum, v)
+				nxt := a.Load(qlWalk+2, cur, qlNext, ir.FLDS)
+				a.Branch(qlWalk+3, !nxt.IsNil(), qlWalk, nxt, ir.Val{})
+				cur = nxt
+			}
+			acc := a.LoadGlobal(qlWalk+4, accBase)
+			a.StoreGlobal(qlWalk+5, accBase, a.Alu(qlWalk+6, acc.U32()+sum.U32(), acc, sum))
+		}
+
+		insertAt := func(pos int) {
+			n := a.Malloc(12)
+			a.Store(qlChurn, n, qlVal, ir.Imm(r.next()&0xFFFF))
+			prev := order[pos]
+			nxt := a.Load(qlChurn+1, prev, qlNext, ir.FLDS)
+			a.Store(qlChurn+2, n, qlNext, nxt)
+			a.Store(qlChurn+3, prev, qlNext, n)
+			order = append(order, ir.Val{})
+			copy(order[pos+2:], order[pos+1:])
+			order[pos+1] = n
+			fixSkips(pos + 1)
+		}
+
+		removeAt := func(pos int) {
+			victim := order[pos]
+			prev := order[pos-1]
+			nxt := a.Load(qlChurn+4, victim, qlNext, ir.FLDS)
+			a.Store(qlChurn+5, prev, qlNext, nxt)
+			a.FreeNode(victim)
+			copy(order[pos:], order[pos+1:])
+			order = order[:len(order)-1]
+			fixSkips(pos - 1)
+		}
+
+		for round := 0; round < cfg.rounds; round++ {
+			walk()
+			for c := 0; c < cfg.churn; c++ {
+				insertAt(r.intn(len(order) - 1))
+				removeAt(r.intn(len(order)-2) + 1)
+			}
+		}
+	}
+}

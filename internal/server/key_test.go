@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"repro/internal/harness"
-	"repro/internal/olden"
 	"repro/internal/prefetch"
 )
 
@@ -177,7 +176,7 @@ var keyCorpus = struct {
 // Normalize and Key must never panic, accepted keys must be
 // deterministic, parseable, and injective over the seen corpus.
 func FuzzCacheKey(f *testing.F) {
-	for _, b := range olden.Names() {
+	for _, b := range harness.BenchNames() {
 		f.Add(b, "coop", "chain", "", 8, "full", 70, false)
 	}
 	for _, e := range prefetch.Names() {

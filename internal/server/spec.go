@@ -153,11 +153,11 @@ func parseSize(s string) (olden.Size, error) {
 //   - Size "" resolves to full, MemLatency 0 to the Table 2 latency.
 func Normalize(req SpecRequest) (Canon, error) {
 	if req.Bench == "" {
-		return Canon{}, fmt.Errorf("missing bench (have %s)", strings.Join(olden.Names(), ", "))
+		return Canon{}, fmt.Errorf("missing bench (have %s)", strings.Join(harness.BenchNames(), ", "))
 	}
-	bench, ok := olden.ByName(req.Bench)
+	bench, ok := harness.BenchByName(req.Bench)
 	if !ok {
-		return Canon{}, fmt.Errorf("unknown bench %q (have %s)", req.Bench, strings.Join(olden.Names(), ", "))
+		return Canon{}, fmt.Errorf("unknown bench %q (have %s)", req.Bench, strings.Join(harness.BenchNames(), ", "))
 	}
 	if req.Interval < 0 {
 		return Canon{}, fmt.Errorf("negative interval %d", req.Interval)

@@ -302,15 +302,15 @@ func CheckProgram(seed uint64, cfg Config) []Failure {
 	return fails
 }
 
-// CheckKernel validates one Olden benchmark at the given input size:
-// for every scheme, the timing core's commit stream (skip on and off)
-// must be byte-identical to the in-order oracle's drain of the same
-// kernel, the heap payload checksum and non-overhead instruction count
-// must be invariant across schemes, and no scheme may blow past the
-// cycle-sanity bound.
+// CheckKernel validates one registered workload (Olden or
+// internal/kernels) at the given input size: for every scheme, the
+// timing core's commit stream (skip on and off) must be byte-identical
+// to the in-order oracle's drain of the same kernel, the heap payload
+// checksum and non-overhead instruction count must be invariant across
+// schemes, and no scheme may blow past the cycle-sanity bound.
 func CheckKernel(bench string, size olden.Size, cfg Config) []Failure {
 	cfg = cfg.norm()
-	b, ok := olden.ByName(bench)
+	b, ok := harness.BenchByName(bench)
 	if !ok {
 		return []Failure{{Subject: bench, Check: "run", Detail: "unknown benchmark"}}
 	}
@@ -400,7 +400,7 @@ func RunMatrix(w io.Writer, o MatrixOptions) []Failure {
 	}
 	benches := o.Benches
 	if benches == nil {
-		benches = olden.Names()
+		benches = harness.BenchNames()
 	}
 	if o.Size == 0 {
 		o.Size = olden.SizeTest

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/olden"
 )
 
@@ -32,7 +33,7 @@ func matrixOldenSize(t *testing.T) olden.Size {
 // off, must commit a stream byte-identical to the in-order oracle's.
 func TestDifferentialOldenMatrix(t *testing.T) {
 	size := matrixOldenSize(t)
-	for _, bench := range olden.Names() {
+	for _, bench := range harness.BenchNames() {
 		bench := bench
 		t.Run(bench, func(t *testing.T) {
 			t.Parallel()

@@ -94,6 +94,17 @@ func Generate(seed uint64) Program {
 	}
 	g.emit(OpEnd, 0, 0, 0, 0)
 
+	// Structured-container idioms from the internal/kernels family, each
+	// present in roughly half the corpus: a hash-table probe (directory
+	// load feeding a short chain chase) and a skip-list descent (sparse
+	// express-level chase, then drop to the dense level).
+	if g.r.intn(2) == 0 {
+		g.hashProbe()
+	}
+	if g.r.intn(2) == 0 {
+		g.skipDescent()
+	}
+
 	// Final mixing so every register's history reaches the digest.
 	g.emit(OpXor, rAcc, rAcc, rVal, 0)
 	g.emit(OpAdd, rTmp, rTmp, rWalk, 0)
@@ -145,6 +156,59 @@ func (g *progGen) traverse(head uint8, link uint32) {
 	g.emit(OpIfZ, rVal, 0, 0, 0)
 	g.emit(OpXor, rAcc, rAcc, rTmp, 0)
 	g.emit(OpEnd, 0, 0, 0, 0)
+}
+
+// hashProbe builds a bucket directory (an array of chain heads inside
+// one allocation) and probes it: each probe loads a bucket head from
+// the directory, takes a short capped chase down that chain, and folds
+// the landing payload into the accumulator — the hash-table access
+// shape (table load feeding a dependent pointer chase) that the
+// dependence-based predictor must train through without corrupting
+// state.
+func (g *progGen) hashProbe() {
+	nb := 2 + g.r.intn(4)
+	g.emit(OpAlloc, rHeadA, 0, 0, uint32(4*nb))
+	for b := 0; b < nb; b++ {
+		size := []uint32{12, 20, 24}[g.r.intn(3)]
+		g.buildList(rHeadB, size, genLinkOffA, 2+g.r.intn(5))
+		g.emit(OpStore, rHeadB, rHeadA, 0, uint32(4*b))
+	}
+	probes := 2 + g.r.intn(5)
+	for i := 0; i < probes; i++ {
+		b := g.r.intn(nb)
+		g.emit(OpLoadLDS, rWalk, rHeadA, 0, uint32(4*b))
+		g.emit(OpChase, rWalk, rWalk, uint8(g.r.intn(4)), genLinkOffA)
+		g.emit(OpLoad, rVal, rWalk, 0, genPayloadOf)
+		g.emit(OpAdd, rAcc, rAcc, rVal, 0)
+	}
+}
+
+// skipDescent builds a two-level list — the primary link is the dense
+// level-0 chain, the secondary link is a stride-2 "express" chain —
+// then descends skip-list style: a capped chase along the express
+// level, a short drop to the dense level, and a payload
+// read-modify-write at the landing node.
+func (g *progGen) skipDescent() {
+	size := uint32(12 + 4*g.r.intn(4))
+	n := 6 + g.r.intn(16)
+	g.emit(OpAlloc, rHeadA, 0, 0, size)
+	g.emit(OpAddImm, rCursor, rHeadA, 0, 0)
+	g.emit(OpAddImm, rWalk, rHeadA, 0, 0) // lags cursor by one node
+	g.emit(OpLoop, 0, 0, 0, uint32(n))
+	g.emit(OpAlloc, rNode, 0, 0, size)
+	g.emit(OpImm, rVal, 0, 0, g.r.next())
+	g.emit(OpStore, rVal, rNode, 0, genPayloadOf)
+	g.emit(OpStore, rNode, rCursor, 0, genLinkOffA) // dense level
+	g.emit(OpStore, rNode, rWalk, 0, genLinkOffB)   // express: two ahead
+	g.emit(OpAddImm, rWalk, rCursor, 0, 0)
+	g.emit(OpAddImm, rCursor, rNode, 0, 0)
+	g.emit(OpEnd, 0, 0, 0, 0)
+	g.emit(OpChase, rTmp, rHeadA, uint8(2+g.r.intn(4)), genLinkOffB)
+	g.emit(OpChase, rWalk, rTmp, uint8(g.r.intn(3)), genLinkOffA)
+	g.emit(OpLoadLDS, rVal, rWalk, 0, genPayloadOf)
+	g.emit(OpAddImm, rVal, rVal, 0, 1)
+	g.emit(OpStore, rVal, rWalk, 0, genPayloadOf)
+	g.emit(OpXor, rAcc, rAcc, rVal, 0)
 }
 
 // noise emits a short run of ALU work (including the non-pipelined

@@ -190,10 +190,11 @@ type BenchmarkInfo struct {
 	Traversals  int
 }
 
-// Benchmarks lists the available workloads.
+// Benchmarks lists the available workloads from both kernel families:
+// the Olden suite and the modern internal/kernels family.
 func Benchmarks() []BenchmarkInfo {
 	var out []BenchmarkInfo
-	for _, b := range olden.All() {
+	for _, b := range harness.AllBenches() {
 		out = append(out, BenchmarkInfo{
 			Name:        b.Name,
 			Description: b.Description,

@@ -47,14 +47,15 @@ func TestMemLatencyOverride(t *testing.T) {
 
 func TestBenchmarksListing(t *testing.T) {
 	bs := Benchmarks()
-	if len(bs) != 12 { // 10 Olden + 2 section-6 extensions
+	if len(bs) != 19 { // 10 Olden + 2 section-6 extensions + 7 kernels
 		t.Fatalf("%d benchmarks", len(bs))
 	}
 	names := map[string]bool{}
 	for _, b := range bs {
 		names[b.Name] = true
 	}
-	for _, want := range []string{"health", "em3d", "mst", "treeadd"} {
+	for _, want := range []string{"health", "em3d", "mst", "treeadd",
+		"hashchurn", "skiplist", "bptree", "lru", "multilist", "quicklist", "txmix"} {
 		if !names[want] {
 			t.Fatalf("missing %s", want)
 		}
